@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+simulates the configurations, prints the same rows/series the paper
+reports, writes them under ``benchmarks/results/``, and asserts the
+qualitative shape (who wins, by roughly what factor, where crossovers
+fall).  Absolute numbers are not expected to match the authors' testbed.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+(Under ``--benchmark-only`` pytest-benchmark skips the handful of
+fixture-less fine-grained shape checks; their assertions are duplicated
+inside the regenerator tests, and ``pytest benchmarks/`` runs all of
+them.)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a regenerated table/figure and echo it to stdout."""
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")

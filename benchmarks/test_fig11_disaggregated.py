@@ -1,0 +1,91 @@
+"""Fig. 11 + Table V — disaggregated memory systems on MoE-1T training.
+
+Regenerates the runtime breakdown (compute / exposed local memory /
+exposed remote memory / exposed communication / idle) for:
+
+- **ZeRO-Infinity** — per-GPU dedicated 100 GB/s slow path; ZeRO-sharded
+  dense parameters gathered with explicit network collectives;
+- **HierMem (Baseline)** — pooled hierarchical memory with equivalent
+  aggregate resources; same network collectives;
+- **HierMem (Opt)** — the swept configuration (fabric 512 GB/s, groups
+  500 GB/s) with in-switch collectives: parameters gather while loading
+  and shard while storing, hiding the communication inside the memory
+  path.
+
+Shape assertions (the paper's reading):
+
+- ZeRO-Infinity and the baseline are nearly identical (paper: 0.1%),
+  with ZeRO marginally ahead (the pool's extra switch stages);
+- exposed communication dominates both;
+- the optimized HierMem is several times faster (paper: 4.6x; our
+  substrate lands in the 3-5x band) and is no longer
+  communication-bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.configs import (
+    hiermem_baseline,
+    hiermem_opt,
+    moe_npu_network,
+    zero_infinity_table5,
+)
+from repro.stats import format_breakdown_table
+from repro.workload import generate_moe, moe_1t
+
+from conftest import write_result
+
+SYSTEMS = {
+    "ZeRO-Infinity": (zero_infinity_table5, False),
+    "HierMem(Baseline)": (hiermem_baseline, False),
+    "HierMem(Opt)": (hiermem_opt, True),
+}
+
+
+def _run_all():
+    topology = moe_npu_network()
+    model = moe_1t()
+    results = {}
+    for name, (config_factory, inswitch) in SYSTEMS.items():
+        traces = generate_moe(
+            model, topology, remote_parameters=True,
+            inswitch_collectives=inswitch)
+        results[name] = repro.simulate(traces, config_factory())
+    return results
+
+
+def test_fig11_regenerate(benchmark, results_dir):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    breakdowns = {name: r.breakdown for name, r in results.items()}
+    totals = {name: r.total_time_ms for name, r in results.items()}
+    speedup = totals["HierMem(Baseline)"] / totals["HierMem(Opt)"]
+    zero_vs_base = totals["HierMem(Baseline)"] / totals["ZeRO-Infinity"] - 1
+    text = format_breakdown_table(breakdowns) + (
+        f"\n\nHierMem(Opt) speedup over baseline: {speedup:.2f}x (paper: 4.6x)"
+        f"\nZeRO-Infinity ahead of baseline by: {100 * zero_vs_base:.2f}% "
+        f"(paper: 0.1%)"
+    )
+    write_result(results_dir, "fig11_disaggregated.txt", text)
+
+    zero = results["ZeRO-Infinity"]
+    base = results["HierMem(Baseline)"]
+    opt = results["HierMem(Opt)"]
+
+    # ZeRO-Infinity and baseline nearly identical, ZeRO marginally ahead.
+    assert zero.total_time_ns == pytest.approx(base.total_time_ns, rel=0.03)
+    assert zero.total_time_ns <= base.total_time_ns
+
+    # Exposed communication dominates the non-compute time of both.
+    for r in (zero, base):
+        b = r.breakdown
+        assert b.exposed_comm_ns > b.exposed_mem_remote_ns
+        assert b.exposed_comm_ns > b.compute_ns
+
+    # The optimized configuration is several times faster and is no longer
+    # communication-bound.
+    assert 2.5 < speedup < 6.0
+    assert opt.breakdown.exposed_comm_ns < 0.1 * base.breakdown.exposed_comm_ns
+    assert opt.breakdown.compute_ns > opt.breakdown.exposed_comm_ns

@@ -1,0 +1,85 @@
+"""Table V design-space sweep — finding HierMem (Opt).
+
+The paper sweeps the in-node pooled fabric bandwidth (256..2048 GB/s in
+steps of 256) and the remote-memory-group bandwidth (100..500 GB/s in
+steps of 100), training MoE-1T with in-switch collectives at each point,
+and reports the best-performing configuration with the least resource
+provision as HierMem (Opt) = (512, 500).
+
+We regenerate the full sweep surface, identify the knee (least resources
+within 5% of the best time), and assert the paper's monotonicity: time
+never increases with more bandwidth, group bandwidth matters until the
+expert streams stop being the bottleneck, and fabric bandwidth matters
+until the fused gathers hide under compute.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.configs.table5 import hiermem_custom, moe_npu_network
+from repro.stats import format_table
+from repro.workload import generate_moe, moe_1t
+
+from conftest import write_result
+
+FABRIC_SWEEP = [256, 512, 768, 1024, 1280, 1536, 1792, 2048]
+GROUP_SWEEP = [100, 200, 300, 400, 500]
+
+
+def _run_point(model, topology, fabric_bw, group_bw):
+    traces = generate_moe(
+        model, topology, remote_parameters=True, inswitch_collectives=True)
+    config = hiermem_custom(in_node_bw=fabric_bw, group_bw=group_bw)
+    return repro.simulate(traces, config).total_time_ms
+
+
+def _sweep():
+    topology = moe_npu_network()
+    model = moe_1t()
+    surface = {}
+    for fabric in FABRIC_SWEEP:
+        for group in GROUP_SWEEP:
+            surface[(fabric, group)] = _run_point(model, topology, fabric, group)
+    return surface
+
+
+def test_tableV_sweep_regenerate(benchmark, results_dir):
+    surface = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for fabric in FABRIC_SWEEP:
+        rows.append([fabric] + [f"{surface[(fabric, g)]:.1f}" for g in GROUP_SWEEP])
+    best_time = min(surface.values())
+    # The paper's selection rule: best performance with the least resource
+    # provision — the cheapest point within 5% of the optimum.
+    knee = min(
+        (point for point, t in surface.items() if t <= 1.05 * best_time),
+        key=lambda p: (p[0] * p[1], p),
+    )
+    text = format_table(
+        ["fabric \\ group (GB/s)"] + [str(g) for g in GROUP_SWEEP], rows
+    ) + (
+        f"\n\nbest time: {best_time:.1f} ms"
+        f"\nknee (least provision within 5%): fabric={knee[0]}, group={knee[1]}"
+        f"\npaper's HierMem(Opt): fabric=512, group=500"
+    )
+    write_result(results_dir, "tableV_sweep.txt", text)
+
+    # Monotone in both axes (more bandwidth never hurts).
+    for fabric in FABRIC_SWEEP:
+        times = [surface[(fabric, g)] for g in GROUP_SWEEP]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:])), fabric
+    for group in GROUP_SWEEP:
+        times = [surface[(f, group)] for f in FABRIC_SWEEP]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:])), group
+
+    # The baseline corner is the worst point; the sweep improves on it by
+    # a large factor (paper: 4.6x best over baseline-with-inswitch-off;
+    # here relative to the (256, 100) corner of the in-switch surface).
+    corner = surface[(256, 100)]
+    assert corner == max(surface.values())
+    assert corner / best_time > 1.3
+
+    # Group bandwidth is the first-order lever at the baseline fabric.
+    assert surface[(256, 500)] < surface[(256, 100)]

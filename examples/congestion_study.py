@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""First-order congestion study with timeline visualization.
+
+The paper's analytical backend assumes congestion-free topology-aware
+collectives and lists first-order congestion modeling as future work
+(Sec. IV-C, footnote 5).  This repo implements it via per-dimension
+fabric oversubscription.  The script sweeps the oversubscription of a
+DGX-like cluster's scale-out fabric for a GPT-3 iteration, shows the
+bandwidth-aware scheduler routing around the congested dimension, and
+renders a per-NPU activity timeline for a pipeline-parallel run.
+
+Run:  python examples/congestion_study.py
+"""
+
+import dataclasses
+
+import repro
+
+from repro.network import MultiDimTopology
+from repro.stats import format_table, render_timeline
+from repro.workload import (
+    ParallelismSpec,
+    generate_megatron_hybrid,
+    generate_pipeline_parallel,
+    gpt3_175b,
+)
+
+
+def oversubscribed(topology, dim, ratio):
+    dims = list(topology.dims)
+    dims[dim] = dataclasses.replace(dims[dim], oversubscription=ratio)
+    return MultiDimTopology(dims, name=f"{topology.name}-os{ratio:g}")
+
+
+def main() -> None:
+    # A three-level cluster: NVLink in node, a rail fabric across 4 nodes
+    # per pod, and a spine across 4 pods; DP communicators span both
+    # scale-out levels, so a congested rail can be routed around.
+    base = repro.parse_topology(
+        "Switch(8)_Switch(4)_Switch(4)", [300, 50, 25],
+        latencies_ns=[250, 700, 1000])
+    print(f"system: {base.notation()} ({base.num_npus} GPUs)\n")
+
+    rows = []
+    for ratio in (1.0, 2.0, 4.0, 8.0):
+        topology = oversubscribed(base, dim=1, ratio=ratio)
+        traces = generate_megatron_hybrid(
+            gpt3_175b(), topology, ParallelismSpec(mp=8, dp=16))
+        row = [f"{ratio:g}:1"]
+        for scheduler in ("baseline", "themis"):
+            result = repro.simulate(traces, repro.SystemConfig(
+                topology=topology, scheduler=scheduler))
+            row.append(f"{result.total_time_ms:.0f}")
+            row.append(f"{result.breakdown.exposed_comm_ns * 1e-6:.0f}")
+        rows.append(row)
+    print(format_table(
+        ["rail oversubscription", "baseline (ms)", "  comm (ms)",
+         "themis (ms)", "  comm (ms)"], rows))
+    print(
+        "\nThe DP communicator spans the rail and spine dims: the "
+        "bandwidth-aware scheduler shifts gradient traffic to the spine "
+        "as the rail congests; the fixed hierarchical order cannot."
+    )
+
+    print("\nPipeline timeline on the 8:1 fabric (GPT-3, PP=16, 4 microbatches):")
+    topology = oversubscribed(base, dim=1, ratio=8.0)
+    traces = generate_pipeline_parallel(
+        gpt3_175b(), topology, ParallelismSpec(mp=8, pp=16),
+        microbatches=4)
+    result = repro.simulate(traces, repro.SystemConfig(
+        topology=topology, scheduler="themis"))
+    print(render_timeline(result.activity, result.total_time_ns, width=72))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Design-space exploration over custom topology shapes.
+
+The point of the taxonomy (paper Sec. IV-B): any multi-dimensional shape
+is one string away.  This script fixes a 1024-NPU budget and a total of
+600 GB/s injection bandwidth per NPU, then sweeps shapes from 1-D to 4-D
+— including a DragonFly-style FC stack and a 3-D torus — measuring a
+1 GB All-Reduce and a DLRM iteration on each.
+
+Run:  python examples/custom_topology_dse.py
+"""
+
+import repro
+from repro.stats import format_table
+from repro.workload import dlrm_paper, generate_dlrm, generate_single_collective
+
+GiB = 1 << 30
+
+# (notation, bandwidths GB/s) — every design spends the same 600 GB/s/NPU.
+CANDIDATES = [
+    ("Switch(1024)", [600]),
+    ("Switch(32)_Switch(32)", [400, 200]),
+    ("Ring(16)_FC(8)_Switch(8)", [300, 200, 100]),
+    ("FC(16)_FC(8)_FC(8)", [300, 200, 100]),           # DragonFly-style
+    ("Ring(8)_Ring(16)_Ring(8)", [300, 200, 100]),     # 3-D torus
+    ("Ring(4)_FC(8)_Ring(8)_Switch(4)", [250, 200, 100, 50]),
+]
+
+
+def main() -> None:
+    rows = []
+    for notation, bws in CANDIDATES:
+        topology = repro.parse_topology(notation, bws)
+        assert topology.num_npus == 1024, notation
+
+        ar_traces = generate_single_collective(
+            topology, repro.CollectiveType.ALL_REDUCE, GiB)
+        dlrm_traces = generate_dlrm(dlrm_paper(), topology)
+
+        row = [notation]
+        for scheduler in ("baseline", "themis"):
+            config = repro.SystemConfig(
+                topology=topology, scheduler=scheduler, collective_chunks=32)
+            ar = repro.simulate(ar_traces, config).total_time_us
+            dlrm = repro.simulate(dlrm_traces, config).total_time_us
+            row.extend([f"{ar:.0f}", f"{dlrm:.0f}"])
+        rows.append(row)
+
+    print("1024 NPUs, 600 GB/s per NPU in every design\n")
+    print(format_table(
+        ["shape", "AR base (us)", "DLRM base (us)",
+         "AR themis (us)", "DLRM themis (us)"],
+        rows,
+    ))
+    print(
+        "\nTakeaways: with baseline scheduling the shape matters a lot "
+        "(bandwidth stranded on idle dimensions); with Themis the designs "
+        "converge toward the aggregate-bandwidth bound, and the remaining "
+        "spread is the latency/hop structure of each shape."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Disaggregated memory systems for MoE training (Sec. V-B case study).
+
+Compares ZeRO-Infinity, the baseline hierarchical memory pool, and the
+optimized pool with in-switch collectives on a 1T-parameter
+Mixture-of-Experts model (the data behind Fig. 11), then sketches the
+Table V bandwidth sweep.
+
+Run:  python examples/disaggregated_memory.py
+"""
+
+import repro
+from repro.configs import (
+    hiermem_baseline,
+    hiermem_opt,
+    moe_npu_network,
+    zero_infinity_table5,
+)
+from repro.configs.table5 import hiermem_custom
+from repro.stats import format_breakdown_table, format_table
+from repro.workload import generate_moe, moe_1t
+
+
+def main() -> None:
+    topology = moe_npu_network()
+    model = moe_1t()
+    print(f"model: {model.name} ({model.total_params / 1e12:.2f}T params, "
+          f"{model.num_experts} experts), {topology.num_npus} GPUs\n")
+
+    breakdowns = {}
+    totals = {}
+    for name, config, inswitch in (
+        ("ZeRO-Infinity", zero_infinity_table5(), False),
+        ("HierMem(Baseline)", hiermem_baseline(), False),
+        ("HierMem(Opt)", hiermem_opt(), True),
+    ):
+        traces = generate_moe(model, topology, remote_parameters=True,
+                              inswitch_collectives=inswitch)
+        result = repro.simulate(traces, config)
+        breakdowns[name] = result.breakdown
+        totals[name] = result.total_time_ms
+
+    print(format_breakdown_table(breakdowns))
+    print(f"\nHierMem(Opt) speedup over baseline: "
+          f"{totals['HierMem(Baseline)'] / totals['HierMem(Opt)']:.2f}x")
+
+    # A slice of the Table V design-space sweep: group bandwidth at the
+    # baseline fabric, then fabric bandwidth at the best group bandwidth.
+    print("\nDesign-space slices (in-switch collectives on):")
+    rows = []
+    for group_bw in (100, 200, 300, 400, 500):
+        traces = generate_moe(model, topology, inswitch_collectives=True)
+        t = repro.simulate(
+            traces, hiermem_custom(in_node_bw=256, group_bw=group_bw)
+        ).total_time_ms
+        rows.append([f"fabric 256 / group {group_bw}", f"{t:.1f}"])
+    for fabric_bw in (512, 1024, 2048):
+        traces = generate_moe(model, topology, inswitch_collectives=True)
+        t = repro.simulate(
+            traces, hiermem_custom(in_node_bw=fabric_bw, group_bw=500)
+        ).total_time_ms
+        rows.append([f"fabric {fabric_bw} / group 500", f"{t:.1f}"])
+    print(format_table(["configuration (GB/s)", "iteration (ms)"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Pipeline parallelism: different NPUs run different operations.
+
+The original ASTRA-sim assumed every NPU executes the same operation at
+the same time, which rules out pipeline parallelism; the graph-based
+execution engine lifts that (paper Secs. III-A, IV-A).  This script runs
+GPT-3 with MP=4 x PP=8 x DP=16 on a 512-NPU system, sweeping the
+microbatch count to show the pipeline-bubble (idle) fraction shrinking —
+behaviour only a per-NPU execution engine can capture.
+
+Run:  python examples/pipeline_parallelism.py
+"""
+
+import repro
+from repro.stats import format_table
+from repro.workload import ParallelismSpec, generate_pipeline_parallel, gpt3_175b
+
+
+def main() -> None:
+    topology = repro.parse_topology(
+        "Ring(4)_FC(8)_Ring(8)_Switch(2)", [250, 200, 100, 50])
+    spec = ParallelismSpec(mp=4, pp=8, dp=2 * 8)
+    model = gpt3_175b()
+    print(f"{model.name} on {topology.notation()} "
+          f"(MP={spec.mp} x PP={spec.pp} x DP={spec.dp})\n")
+
+    rows = []
+    for microbatches in (1, 2, 4, 8, 16):
+        traces = generate_pipeline_parallel(
+            model, topology, spec, microbatches=microbatches)
+        config = repro.SystemConfig(
+            topology=topology, scheduler="themis", collective_chunks=16)
+        result = repro.simulate(traces, config)
+        idle_frac = result.breakdown.idle_ns / result.total_time_ns
+        per_micro = result.total_time_ms / microbatches
+        rows.append([
+            microbatches,
+            len(traces),
+            f"{result.total_time_ms:.1f}",
+            f"{per_micro:.1f}",
+            f"{100 * idle_frac:.1f}%",
+        ])
+
+    print(format_table(
+        ["microbatches", "stage traces", "iteration (ms)",
+         "ms / microbatch", "pipeline bubble"],
+        rows,
+    ))
+    print(
+        "\nWith more microbatches the per-microbatch cost falls and the "
+        "bubble fraction shrinks toward (P-1)/(P-1+M) — the GPipe "
+        "steady-state — because stages genuinely execute different "
+        "operations concurrently."
+    )
+
+
+if __name__ == "__main__":
+    main()

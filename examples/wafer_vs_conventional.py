@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Wafer-scale vs conventional systems (the paper's Sec. V-A case study).
+
+Trains GPT-3 (hybrid MP=16 x DP=32) on every Table II 512-NPU system
+under both collective schedulers and prints the normalized breakdown —
+the data behind Fig. 9(a).
+
+Run:  python examples/wafer_vs_conventional.py
+"""
+
+import repro
+from repro.configs import TABLE2_TOPOLOGIES
+from repro.stats import format_table
+from repro.workload import ParallelismSpec, generate_megatron_hybrid, gpt3_175b
+
+
+def main() -> None:
+    model = gpt3_175b()
+    print(f"model: {model.name} ({model.total_params / 1e9:.0f}B params), "
+          f"MP=16 x DP=32 hybrid parallelism\n")
+
+    rows = []
+    baseline_ref = None
+    for name, topology in TABLE2_TOPOLOGIES.items():
+        traces = generate_megatron_hybrid(
+            model, topology, ParallelismSpec(mp=16, dp=32))
+        row = [name]
+        for scheduler in ("baseline", "themis"):
+            config = repro.SystemConfig(
+                topology=topology, scheduler=scheduler, collective_chunks=32)
+            result = repro.simulate(traces, config)
+            if baseline_ref is None:
+                baseline_ref = result.total_time_ns
+            b = result.breakdown
+            row.append(
+                f"{result.total_time_ns / baseline_ref:.3f} "
+                f"(comm {b.exposed_comm_ns / baseline_ref:.3f})"
+            )
+        rows.append(row)
+
+    print(format_table(
+        ["system", "baseline (norm)", "themis (norm)"], rows))
+    print(
+        "\nReading the table (paper Sec. V-A):\n"
+        " - 1-D wafer systems gain nothing from smart scheduling;\n"
+        " - multi-dimensional systems close most of their gap with Themis;\n"
+        " - the wafer keeps an edge on hybrid-parallel models because MP/DP\n"
+        "   communicators use every GB/s of the wafer but only a subset of\n"
+        "   a conventional system's dimensions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""repro — a Python reproduction of ASTRA-sim 2.0 (ISPASS 2023).
+
+A discrete-event simulator for distributed DNN training platforms with:
+
+- a graph-based execution engine over Chakra-style execution traces
+  (arbitrary parallelism: DP / MP / PP / hybrid / expert);
+- a multi-dimensional hierarchical network taxonomy
+  (``Ring(4)_FC(2)_Switch(8)``) with an analytical backend and a
+  packet-level Garnet-lite backend;
+- collective scheduling (baseline hierarchical and Themis greedy);
+- memory models: local HBM, disaggregated hierarchical pools, in-switch
+  collectives, and a ZeRO-Infinity baseline.
+
+Quickstart::
+
+    import repro
+
+    topo = repro.parse_topology("Ring(4)_Switch(2)", [200, 50])
+    traces = repro.generate_single_collective(
+        topo, repro.CollectiveType.ALL_REDUCE, payload_bytes=1 << 30)
+    result = repro.simulate(traces, repro.SystemConfig(topology=topo))
+    print(f"All-Reduce took {result.total_time_us:.1f} us")
+"""
+
+from repro.core import (
+    CollectiveRecord,
+    DeadlockError,
+    ExecutionEngine,
+    RunResult,
+    Simulator,
+    SystemConfig,
+    simulate,
+)
+from repro.events import EventEngine
+from repro.memory import (
+    HierMemConfig,
+    HierarchicalRemoteMemory,
+    InSwitchCollectiveMemory,
+    LocalMemory,
+    MemoryRequest,
+    ZeroInfinityConfig,
+    ZeroInfinityMemory,
+)
+from repro.network import (
+    AnalyticalNetwork,
+    BuildingBlock,
+    DimSpec,
+    FlowLevelNetwork,
+    GarnetLiteNetwork,
+    MultiDimTopology,
+    TopologyError,
+    parse_topology,
+)
+from repro.stats import Activity, Breakdown, format_breakdown_table, format_table
+from repro.system import RooflineCompute, SendRecvCollectiveExecutor, make_scheduler
+from repro.trace import (
+    CollectiveType,
+    ETNode,
+    ExecutionTrace,
+    NodeType,
+    TensorLocation,
+    load_trace,
+    save_trace,
+)
+from repro.workload import (
+    ParallelismSpec,
+    dlrm_paper,
+    generate_data_parallel,
+    generate_dlrm,
+    generate_fsdp,
+    generate_megatron_hybrid,
+    generate_moe,
+    generate_pipeline_parallel,
+    generate_single_collective,
+    gpt3_175b,
+    moe_1t,
+    transformer_1t,
+)
+
+__version__ = "2.0.0"
+
+__all__ = [
+    "Activity",
+    "AnalyticalNetwork",
+    "Breakdown",
+    "BuildingBlock",
+    "CollectiveRecord",
+    "CollectiveType",
+    "DeadlockError",
+    "DimSpec",
+    "ETNode",
+    "EventEngine",
+    "ExecutionEngine",
+    "ExecutionTrace",
+    "FlowLevelNetwork",
+    "GarnetLiteNetwork",
+    "HierMemConfig",
+    "HierarchicalRemoteMemory",
+    "InSwitchCollectiveMemory",
+    "LocalMemory",
+    "MemoryRequest",
+    "MultiDimTopology",
+    "NodeType",
+    "ParallelismSpec",
+    "RooflineCompute",
+    "RunResult",
+    "SendRecvCollectiveExecutor",
+    "Simulator",
+    "SystemConfig",
+    "TensorLocation",
+    "TopologyError",
+    "ZeroInfinityConfig",
+    "ZeroInfinityMemory",
+    "dlrm_paper",
+    "format_breakdown_table",
+    "format_table",
+    "generate_data_parallel",
+    "generate_dlrm",
+    "generate_fsdp",
+    "generate_megatron_hybrid",
+    "generate_moe",
+    "generate_pipeline_parallel",
+    "generate_single_collective",
+    "gpt3_175b",
+    "load_trace",
+    "make_scheduler",
+    "moe_1t",
+    "parse_topology",
+    "save_trace",
+    "simulate",
+    "transformer_1t",
+    "__version__",
+]

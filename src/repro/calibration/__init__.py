@@ -1,0 +1,22 @@
+"""Calibrated reference measurements standing in for real systems.
+
+The paper validates the analytical backend against NCCL v2.4.6 on 4- and
+16-GPU V100 NVLink rings (Fig. 4).  Without that hardware, this package
+provides :func:`nccl_ring_allreduce_reference_ns`: an NCCL-like cost model
+with the structure real measurements exhibit — per-step launch overhead,
+protocol-dependent bandwidth efficiency, and deterministic run-to-run
+jitter — used as the "measured" curve the analytical backend is scored
+against.
+"""
+
+from repro.calibration.nccl_reference import (
+    NCCL_RING_EFFICIENCY,
+    nccl_ring_allreduce_reference_ns,
+    reference_curve,
+)
+
+__all__ = [
+    "NCCL_RING_EFFICIENCY",
+    "nccl_ring_allreduce_reference_ns",
+    "reference_curve",
+]

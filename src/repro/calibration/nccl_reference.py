@@ -1,0 +1,75 @@
+"""NCCL-like reference cost model for ring All-Reduce (Fig. 4 substitute).
+
+Real NCCL ring All-Reduce time on ``k`` GPUs for payload ``S`` follows
+
+    t = 2 (k - 1) * (step_latency + (S / k) / (link_bw * efficiency))
+        + base_overhead
+
+where ``efficiency`` < 1 captures protocol overhead (LL/Simple protocol
+framing, flush costs) and shrinks slightly for small messages.  We add a
+deterministic pseudo-random jitter (hash-seeded, +/- a few percent) so the
+"measured" curve is not trivially identical to any closed form — the same
+role real measurement noise plays in the paper's Fig. 4 validation, which
+reports a 5% mean error for the analytical backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence, Tuple
+
+# Sustained fraction of peak NVLink bandwidth NCCL's Simple protocol
+# achieves for large messages on V100 systems.
+NCCL_RING_EFFICIENCY = 0.94
+_STEP_LATENCY_NS = 1500.0
+_BASE_OVERHEAD_NS = 12000.0
+_JITTER_AMPLITUDE = 0.03
+
+
+def _deterministic_jitter(num_gpus: int, payload_bytes: int) -> float:
+    """Stable pseudo-noise in [-amplitude, +amplitude]."""
+    digest = hashlib.sha256(f"{num_gpus}:{payload_bytes}".encode()).digest()
+    unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return (2.0 * unit - 1.0) * _JITTER_AMPLITUDE
+
+
+def _efficiency(payload_bytes: int) -> float:
+    """Bandwidth efficiency: degrades below ~8 MB payloads."""
+    knee = 8 << 20
+    if payload_bytes >= knee:
+        return NCCL_RING_EFFICIENCY
+    scale = max(0.25, payload_bytes / knee)
+    return NCCL_RING_EFFICIENCY * (0.85 + 0.15 * scale)
+
+
+def nccl_ring_allreduce_reference_ns(
+    num_gpus: int, payload_bytes: int, link_bw_gbps: float = 150.0
+) -> float:
+    """Reference ("measured") All-Reduce time in ns.
+
+    Args:
+        num_gpus: Ring size (the paper measures 4 and 16 V100s).
+        payload_bytes: All-Reduce payload per GPU.
+        link_bw_gbps: NVLink ring bandwidth (150 GB/s in the paper).
+    """
+    if num_gpus < 2:
+        return 0.0
+    if payload_bytes < 0:
+        raise ValueError(f"negative payload {payload_bytes}")
+    chunk = payload_bytes / num_gpus
+    eff_bw = link_bw_gbps * _efficiency(payload_bytes)
+    steps = 2 * (num_gpus - 1)
+    base = steps * (_STEP_LATENCY_NS + chunk / eff_bw) + _BASE_OVERHEAD_NS
+    return base * (1.0 + _deterministic_jitter(num_gpus, payload_bytes))
+
+
+def reference_curve(
+    num_gpus: int,
+    payload_sweep_bytes: Sequence[int],
+    link_bw_gbps: float = 150.0,
+) -> List[Tuple[int, float]]:
+    """The full Fig. 4 x-axis: (payload, reference time) pairs."""
+    return [
+        (s, nccl_ring_allreduce_reference_ns(num_gpus, s, link_bw_gbps))
+        for s in payload_sweep_bytes
+    ]

@@ -1,0 +1,207 @@
+"""Command-line interface: run simulations without writing Python.
+
+Usage::
+
+    python -m repro.cli run --topology "Ring(2)_FC(8)_Ring(8)_Switch(4)" \\
+        --bandwidths 250,200,100,50 --workload gpt3 --mp 16 --dp 32 \\
+        --scheduler themis
+
+    python -m repro.cli run --topology "Switch(512)" --bandwidths 600 \\
+        --workload allreduce --payload-mib 1024
+
+    python -m repro.cli trace-info path/to/trace.json
+
+    python -m repro.cli topology-info "Ring(4)_Switch(8)" --bandwidths 100,25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import repro
+from repro.stats import format_breakdown_table
+from repro.trace.analysis import summarize
+from repro.workload import (
+    ParallelismSpec,
+    dlrm_paper,
+    generate_data_parallel,
+    generate_dlrm,
+    generate_fsdp,
+    generate_megatron_hybrid,
+    generate_pipeline_parallel,
+    generate_single_collective,
+    gpt3_175b,
+    transformer_1t,
+)
+
+WORKLOADS = ("allreduce", "alltoall", "gpt3", "transformer1t", "dlrm",
+             "fsdp-gpt3", "dp-gpt3", "pp-gpt3")
+
+
+def _parse_floats(text: str) -> List[float]:
+    try:
+        return [float(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        raise SystemExit(f"error: not a comma-separated float list: {text!r}")
+
+
+def _build_topology(args: argparse.Namespace):
+    latencies = _parse_floats(args.latencies) if args.latencies else ()
+    return repro.parse_topology(args.topology, _parse_floats(args.bandwidths),
+                                latencies_ns=list(latencies))
+
+
+def _build_traces(args: argparse.Namespace, topology):
+    payload = int(args.payload_mib * (1 << 20))
+    if args.workload == "allreduce":
+        return generate_single_collective(
+            topology, repro.CollectiveType.ALL_REDUCE, payload)
+    if args.workload == "alltoall":
+        return generate_single_collective(
+            topology, repro.CollectiveType.ALL_TO_ALL, payload)
+    if args.workload == "dlrm":
+        return generate_dlrm(dlrm_paper(), topology)
+    model = transformer_1t() if args.workload == "transformer1t" else gpt3_175b()
+    if args.workload in ("gpt3", "transformer1t"):
+        mp = args.mp or 16
+        dp = args.dp or topology.num_npus // mp
+        return generate_megatron_hybrid(
+            model, topology, ParallelismSpec(mp=mp, dp=dp))
+    if args.workload == "fsdp-gpt3":
+        return generate_fsdp(gpt3_175b(), topology)
+    if args.workload == "dp-gpt3":
+        return generate_data_parallel(gpt3_175b(), topology)
+    if args.workload == "pp-gpt3":
+        mp = args.mp or 1
+        pp = args.pp or 8
+        dp = args.dp or topology.num_npus // (mp * pp)
+        return generate_pipeline_parallel(
+            gpt3_175b(), topology, ParallelismSpec(mp=mp, pp=pp, dp=dp),
+            microbatches=args.microbatches)
+    raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    topology = _build_topology(args)
+    traces = _build_traces(args, topology)
+    config = repro.SystemConfig(
+        topology=topology,
+        scheduler=args.scheduler,
+        collective_chunks=args.chunks,
+        network_backend=args.backend,
+        compute=repro.RooflineCompute(
+            peak_tflops=args.peak_tflops,
+            mem_bandwidth_gbps=args.hbm_gbps,
+        ),
+    )
+    result = repro.simulate(traces, config)
+    print(f"topology : {topology.notation()}  ({topology.num_npus} NPUs)")
+    print(f"workload : {args.workload}  scheduler: {args.scheduler}  "
+          f"chunks: {args.chunks}")
+    print(f"total    : {result.total_time_ms:.3f} ms  "
+          f"({result.nodes_executed} nodes, "
+          f"{result.events_processed} events)")
+    print()
+    print(format_breakdown_table({args.workload: result.breakdown}))
+    if args.collectives:
+        print("\ncollectives:")
+        for record in result.collectives[: args.collectives]:
+            print(f"  {record.name:<28} {record.duration_ns / 1e3:10.1f} us  "
+                  f"group {record.group_size}")
+    if args.timeline and result.activity is not None:
+        from repro.stats.timeline import render_timeline
+
+        print()
+        print(render_timeline(result.activity, result.total_time_ns,
+                              width=args.timeline))
+    if args.json_out:
+        from repro.stats.export import dump_result_json
+
+        dump_result_json(result, args.json_out)
+        print(f"\nresult written to {args.json_out}")
+    if args.chrome_trace and result.activity is not None:
+        from repro.stats.chrometrace import dump_chrome_trace
+
+        dump_chrome_trace(result.activity, args.chrome_trace)
+        print(f"chrome trace written to {args.chrome_trace}")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    trace = repro.load_trace(args.path)
+    print(summarize(trace).format())
+    return 0
+
+
+def _cmd_topology_info(args: argparse.Namespace) -> int:
+    topology = _build_topology(args)
+    print(f"{topology.notation()}: {topology.num_npus} NPUs, "
+          f"{topology.num_dims} dims, "
+          f"{topology.total_bandwidth_gbps():g} GB/s per NPU, "
+          f"{topology.total_links()} links")
+    for i, dim in enumerate(topology.dims):
+        print(f"  dim {i}: {dim.block.value}({dim.size}) "
+              f"@ {dim.bandwidth_gbps:g} GB/s, {dim.latency_ns:g} ns/hop, "
+              f"algorithm: {dim.block.collective_algorithm}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ASTRA-sim 2.0 reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a workload on a topology")
+    run.add_argument("--topology", required=True,
+                     help='shape notation, e.g. "Ring(4)_Switch(8)"')
+    run.add_argument("--bandwidths", required=True,
+                     help="per-dim GB/s, comma separated")
+    run.add_argument("--latencies", default="",
+                     help="per-dim ns/hop, comma separated (default 500)")
+    run.add_argument("--workload", choices=WORKLOADS, default="allreduce")
+    run.add_argument("--payload-mib", type=float, default=1024.0,
+                     help="collective payload for allreduce/alltoall")
+    run.add_argument("--scheduler", choices=("baseline", "themis"),
+                     default="themis")
+    run.add_argument("--backend", choices=("analytical", "garnet", "flow"),
+                     default="analytical",
+                     help="network backend (detailed backends are p2p-only)")
+    run.add_argument("--chunks", type=int, default=16)
+    run.add_argument("--mp", type=int, default=0)
+    run.add_argument("--dp", type=int, default=0)
+    run.add_argument("--pp", type=int, default=0)
+    run.add_argument("--microbatches", type=int, default=4)
+    run.add_argument("--peak-tflops", type=float, default=234.0)
+    run.add_argument("--hbm-gbps", type=float, default=2039.0)
+    run.add_argument("--collectives", type=int, default=0,
+                     help="print the first N collective records")
+    run.add_argument("--json-out", default="",
+                     help="dump the full result to a JSON file")
+    run.add_argument("--chrome-trace", default="",
+                     help="dump a chrome://tracing / Perfetto trace JSON")
+    run.add_argument("--timeline", type=int, default=0, metavar="WIDTH",
+                     help="render a per-NPU activity timeline WIDTH cols wide")
+    run.set_defaults(func=_cmd_run)
+
+    info = sub.add_parser("trace-info", help="summarize an ET JSON file")
+    info.add_argument("path")
+    info.set_defaults(func=_cmd_trace_info)
+
+    topo = sub.add_parser("topology-info", help="describe a topology string")
+    topo.add_argument("topology")
+    topo.add_argument("--bandwidths", required=True)
+    topo.add_argument("--latencies", default="")
+    topo.set_defaults(func=_cmd_topology_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

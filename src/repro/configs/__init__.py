@@ -1,0 +1,55 @@
+"""Canned configurations reproducing the paper's input tables.
+
+- :mod:`repro.configs.table2` — wafer-scale (W-1D/W-2D) and conventional
+  (Conv-3D/Conv-4D) 512-NPU topologies of Table II;
+- :mod:`repro.configs.table5` — the disaggregated memory systems of
+  Table V (ZeRO-Infinity, HierMem baseline, HierMem opt).
+"""
+
+from repro.configs.table2 import (
+    CONV_3D,
+    CONV_4D,
+    TABLE2_TOPOLOGIES,
+    W_1D_350,
+    W_1D_500,
+    W_1D_600,
+    W_2D,
+    conv_4d_scaled,
+    wafer_scaled,
+)
+from repro.configs.table5 import (
+    hiermem_baseline,
+    hiermem_custom,
+    hiermem_opt,
+    moe_npu_network,
+    zero_infinity_table5,
+)
+from repro.configs.systems import (
+    dgx_a100_cluster,
+    dragonfly,
+    tpu_v4_pod,
+    wafer_cluster,
+    wafer_scale,
+)
+
+__all__ = [
+    "CONV_3D",
+    "CONV_4D",
+    "TABLE2_TOPOLOGIES",
+    "W_1D_350",
+    "W_1D_500",
+    "W_1D_600",
+    "W_2D",
+    "conv_4d_scaled",
+    "dgx_a100_cluster",
+    "dragonfly",
+    "hiermem_baseline",
+    "hiermem_custom",
+    "hiermem_opt",
+    "moe_npu_network",
+    "tpu_v4_pod",
+    "wafer_cluster",
+    "wafer_scale",
+    "wafer_scaled",
+    "zero_infinity_table5",
+]

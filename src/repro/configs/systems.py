@@ -1,0 +1,109 @@
+"""Real-system topologies from the paper's taxonomy examples (Fig. 3c).
+
+Each function returns a :class:`~repro.network.topology.MultiDimTopology`
+matching a named platform the paper lists alongside its shape notation:
+
+=====================  ==========================  ============================
+Platform               Notation                    Source
+=====================  ==========================  ============================
+NVIDIA DGX-A100        Switch(8)_Switch(n)         NVLink in-node + IB/Ethernet
+Google Cloud TPUv4     Ring(x)_Ring(y)_Ring(z)     3-D torus @ 448 Gb/s ICI
+DragonFly              FC(a)_FC(g)_FC(p)           fully-populated [70]
+Wafer-scale            Switch(n) @ on-wafer BW     Cerebras/Dojo-style [31,32]
+=====================  ==========================  ============================
+
+Bandwidths are per-NPU injection GB/s from public numbers: NVLink3
+300 GB/s/GPU aggregate, HDR InfiniBand 25 GB/s/NIC, TPUv4 inter-core
+interconnect 448 Gb/s = 56 GB/s per link per direction.
+"""
+
+from __future__ import annotations
+
+from repro.network.topology import MultiDimTopology, parse_topology
+
+NVLINK3_GBPS = 300.0
+HDR_IB_GBPS = 25.0
+TPU_V4_ICI_GBPS = 56.0
+
+
+def dgx_a100_cluster(num_nodes: int, nic_gbps: float = HDR_IB_GBPS,
+                     nvlink_gbps: float = NVLINK3_GBPS) -> MultiDimTopology:
+    """A cluster of 8-GPU DGX-A100 nodes behind a scale-out switch.
+
+    The paper's canonical 2-D example: Dim 1 is the in-node NVLink
+    switch, Dim 2 the InfiniBand/Ethernet fabric (Sec. III-B).
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    return parse_topology(
+        f"Switch(8)_Switch({num_nodes})",
+        [nvlink_gbps, nic_gbps],
+        latencies_ns=[250, 1000],
+        name=f"DGX-A100-x{num_nodes}",
+    )
+
+
+def tpu_v4_pod(x: int, y: int, z: int,
+               ici_gbps: float = TPU_V4_ICI_GBPS) -> MultiDimTopology:
+    """A TPUv4 pod slice: 3-D torus with equal per-dim ICI bandwidth.
+
+    TPUv4 runs a 3-D torus whose inter-core interconnect links carry
+    448 Gb/s each (paper Sec. III-B, [27], [60]).
+    """
+    for name, v in (("x", x), ("y", y), ("z", z)):
+        if v < 1:
+            raise ValueError(f"{name} must be >= 1, got {v}")
+    return parse_topology(
+        f"Ring({x})_Ring({y})_Ring({z})",
+        [ici_gbps] * 3,
+        latencies_ns=[100, 100, 100],
+        name=f"TPUv4-{x}x{y}x{z}",
+    )
+
+
+def dragonfly(routers_per_group: int, groups: int, npus_per_router: int = 1,
+              bw_gbps: float = 100.0) -> MultiDimTopology:
+    """A fully-populated DragonFly [70] as stacked FullyConnected dims.
+
+    The paper's FC(4)_FC(2)_FC(2) example is ``dragonfly(4, 2, 2)`` with
+    the dims reordered innermost-first.
+    """
+    for name, v in (("routers_per_group", routers_per_group),
+                    ("groups", groups), ("npus_per_router", npus_per_router)):
+        if v < 1:
+            raise ValueError(f"{name} must be >= 1, got {v}")
+    return parse_topology(
+        f"FC({npus_per_router})_FC({routers_per_group})_FC({groups})",
+        [bw_gbps * 3, bw_gbps * 2, bw_gbps],
+        latencies_ns=[100, 300, 700],
+        name=f"DragonFly-{npus_per_router}x{routers_per_group}x{groups}",
+    )
+
+
+def wafer_scale(num_npus: int, on_wafer_gbps: float = 1000.0) -> MultiDimTopology:
+    """A single-wafer system: one high-bandwidth on-chip dimension.
+
+    Models Cerebras/Dojo-style platforms ([31], [32], [72], [73]): a flat
+    switch abstraction over the on-wafer mesh, as the paper's W-1D proxy.
+    """
+    if num_npus < 1:
+        raise ValueError(f"num_npus must be >= 1, got {num_npus}")
+    return parse_topology(
+        f"Switch({num_npus})", [on_wafer_gbps], latencies_ns=[25],
+        name=f"Wafer-{num_npus}",
+    )
+
+
+def wafer_cluster(npus_per_wafer: int, num_wafers: int,
+                  on_wafer_gbps: float = 1000.0,
+                  nic_gbps: float = HDR_IB_GBPS) -> MultiDimTopology:
+    """Wafers scaled out through NICs (Sec. I: 'then scaling out such
+    wafers using NICs')."""
+    if npus_per_wafer < 1 or num_wafers < 1:
+        raise ValueError("npus_per_wafer and num_wafers must be >= 1")
+    return parse_topology(
+        f"Switch({npus_per_wafer})_Switch({num_wafers})",
+        [on_wafer_gbps, nic_gbps],
+        latencies_ns=[25, 1000],
+        name=f"Wafer-{npus_per_wafer}-x{num_wafers}",
+    )

@@ -1,0 +1,60 @@
+"""Table II topologies: wafer-scale vs conventional 512-NPU systems.
+
+=========  ====================  ===========  ==================
+Topology   Shape                 NPU size     BW (GB/s)
+=========  ====================  ===========  ==================
+W-1D       Switch                512          350 / 500 / 600
+W-2D       Switch_Switch         32 x 16      250_250
+Conv-3D    Ring_FC_Switch        16 x 8 x 4   200_100_50
+Conv-4D    Ring_FC_Ring_Switch   2x8x8x4      250_200_100_50
+=========  ====================  ===========  ==================
+
+Also provides the Sec. V-A-2 scaling variants: conventional scale-out
+(grow the last, NIC dimension) and wafer scale-up (grow Dim 1 with the
+on-wafer bandwidth raised to 1000 GB/s).
+"""
+
+from __future__ import annotations
+
+from repro.network.topology import MultiDimTopology, parse_topology
+
+W_1D_350 = parse_topology("Switch(512)", [350], latencies_ns=[25], name="W-1D-350")
+W_1D_500 = parse_topology("Switch(512)", [500], latencies_ns=[25], name="W-1D-500")
+W_1D_600 = parse_topology("Switch(512)", [600], latencies_ns=[25], name="W-1D-600")
+W_2D = parse_topology("Switch(32)_Switch(16)", [250, 250], latencies_ns=[25, 25], name="W-2D-250_250")
+CONV_3D = parse_topology(
+    "Ring(16)_FC(8)_Switch(4)", [200, 100, 50],
+    latencies_ns=[50, 250, 500], name="Conv-3D"
+)
+CONV_4D = parse_topology(
+    "Ring(2)_FC(8)_Ring(8)_Switch(4)", [250, 200, 100, 50],
+    latencies_ns=[50, 250, 250, 500], name="Conv-4D"
+)
+
+TABLE2_TOPOLOGIES = {
+    t.name: t for t in (W_1D_350, W_1D_500, W_1D_600, W_2D, CONV_3D, CONV_4D)
+}
+
+WAFER_DIM1_BW_GBPS = 1000.0  # on-wafer bandwidth for the scaling study [72,73]
+
+
+def conv_4d_scaled(last_dim: int = 4, dim1: int = 2,
+                   dim1_bw_gbps: float = WAFER_DIM1_BW_GBPS) -> MultiDimTopology:
+    """The Sec. V-A-2 baseline: Conv-4D with on-chip BW 1000 GB/s.
+
+    ``last_dim`` scales out (Conv-k systems: 2_8_8_{4,8,16,32});
+    ``dim1`` scales up over the wafer (W-k systems: {2,4,8,16}_8_8_4).
+    """
+    if last_dim < 1 or dim1 < 1:
+        raise ValueError("dimension sizes must be >= 1")
+    return parse_topology(
+        f"Ring({dim1})_FC(8)_Ring(8)_Switch({last_dim})",
+        [dim1_bw_gbps, 200, 100, 50],
+        latencies_ns=[25, 250, 250, 500],
+        name=f"{dim1}_8_8_{last_dim}",
+    )
+
+
+def wafer_scaled(dim1: int) -> MultiDimTopology:
+    """Wafer scale-up variant: grow Dim 1, keep scale-out at 4."""
+    return conv_4d_scaled(last_dim=4, dim1=dim1)

@@ -1,0 +1,74 @@
+"""Top-level simulation configuration.
+
+A :class:`SystemConfig` bundles everything below the workload layer: the
+topology, the collective scheduling policy and chunking degree, the
+roofline compute model, and the memory models (local HBM, optional
+disaggregated remote pool, optional in-switch collective fabric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory.api import MemoryModel
+from repro.memory.inswitch import InSwitchCollectiveMemory
+from repro.memory.local import LocalMemory
+from repro.network.topology import MultiDimTopology
+from repro.system.compute import RooflineCompute
+
+DEFAULT_PEAK_TFLOPS = 234.0  # A100 measurement the paper uses (Sec. V)
+DEFAULT_HBM_GBPS = 2039.0  # A100 80GB HBM2e
+
+
+@dataclass
+class SystemConfig:
+    """Everything the simulator needs besides the traces.
+
+    Attributes:
+        topology: Physical multi-dimensional topology.
+        scheduler: Collective chunk scheduler — ``"baseline"`` (fixed
+            hierarchical order) or ``"themis"`` (greedy bandwidth-aware).
+        collective_chunks: Pipelining degree of each collective.
+        network_backend: ``"analytical"`` (default; required for
+            collectives), ``"garnet"`` (packet-level), or ``"flow"``
+            (max-min fair flow-level) — the detailed backends support
+            point-to-point-only workloads (e.g. pure pipeline
+            parallelism) and cross-validate the analytical model.
+        compute: Roofline NPU model.
+        local_memory: HBM model for LOCAL memory nodes.
+        remote_memory: Model for REMOTE memory nodes; required if any
+            trace contains remote tensors.
+        fabric_collectives: In-switch collective model; required if any
+            trace routes collectives via the memory fabric.
+    """
+
+    topology: MultiDimTopology
+    scheduler: str = "baseline"
+    collective_chunks: int = 16
+    network_backend: str = "analytical"
+    compute: RooflineCompute = field(
+        default_factory=lambda: RooflineCompute(
+            peak_tflops=DEFAULT_PEAK_TFLOPS, mem_bandwidth_gbps=DEFAULT_HBM_GBPS
+        )
+    )
+    local_memory: LocalMemory = field(
+        default_factory=lambda: LocalMemory(bandwidth_gbps=DEFAULT_HBM_GBPS)
+    )
+    remote_memory: Optional[MemoryModel] = None
+    fabric_collectives: Optional[InSwitchCollectiveMemory] = None
+
+    def __post_init__(self) -> None:
+        if self.collective_chunks < 1:
+            raise ValueError(
+                f"collective_chunks must be >= 1, got {self.collective_chunks}"
+            )
+        if self.network_backend not in ("analytical", "garnet", "flow"):
+            raise ValueError(
+                f"network_backend must be 'analytical', 'garnet', or "
+                f"'flow', got {self.network_backend!r}"
+            )
+        # Fail fast on bad scheduler names rather than at first collective.
+        from repro.system.scheduler import make_scheduler
+
+        make_scheduler(self.scheduler)

@@ -1,0 +1,382 @@
+"""Graph-based execution engine (paper Sec. IV-A).
+
+One engine instance drives every simulated NPU's execution trace: nodes
+issue when their dependencies complete, run on the appropriate resource
+(compute unit, local/remote memory channel, network dimension ports, or
+the pooled memory fabric), and their completions release dependents.
+Each NPU consumes its own trace, so different NPUs run different
+operations at the same time — the property that enables pipeline and
+arbitrary parallelism.
+
+Collective nodes rendezvous: the i-th collective a trace issues on a given
+communicator matches the i-th issue of every other *simulated* member of
+that communicator (MPI ordering semantics).  Members without a trace are
+symmetric replicas of a representative and need not arrive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.results import CollectiveRecord
+from repro.events import EventEngine
+from repro.memory.api import MemoryRequest
+from repro.network.analytical import AnalyticalNetwork, DimPort
+from repro.stats.breakdown import Activity, ActivityLog
+from repro.system.collective_op import CollectiveOperation
+from repro.system.scheduler import ChunkScheduler
+from repro.trace.graph import ExecutionTrace
+from repro.trace.node import ETNode, NodeType, TensorLocation
+from repro.workload.generators import VIA_FABRIC
+
+
+class DeadlockError(RuntimeError):
+    """The event queue drained while trace nodes were still incomplete."""
+
+
+class _CollectiveRendezvous:
+    """Arrival tracking for one collective instance."""
+
+    __slots__ = ("participants", "arrived")
+
+    def __init__(self, participants: Set[int]) -> None:
+        self.participants = participants
+        self.arrived: Dict[int, int] = {}  # npu -> node_id
+
+
+class ExecutionEngine:
+    """Executes a set of per-NPU traces over the configured system."""
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        config: SystemConfig,
+        network: AnalyticalNetwork,
+        scheduler: ChunkScheduler,
+        traces: Dict[int, ExecutionTrace],
+    ) -> None:
+        if not traces:
+            raise ValueError("no traces to execute")
+        for npu_id, trace in traces.items():
+            if npu_id != trace.npu_id:
+                raise ValueError(
+                    f"trace for NPU {trace.npu_id} registered under id {npu_id}"
+                )
+            config.topology._check_id(npu_id)
+        self.engine = engine
+        self.config = config
+        self.network = network
+        self.scheduler = scheduler
+        self.traces = dict(traces)
+        self.activity = ActivityLog()
+        self.collective_records: List[CollectiveRecord] = []
+        self.finish_time = 0.0
+        self.nodes_executed = 0
+
+        self._indegree: Dict[Tuple[int, int], int] = {}
+        self._remaining = 0
+        for npu_id, trace in self.traces.items():
+            for node in trace:
+                self._indegree[(npu_id, node.node_id)] = len(node.deps)
+                self._remaining += 1
+
+        # Serializing resources per NPU.
+        self._compute_unit: Dict[int, DimPort] = {}
+        self._local_channel: Dict[int, DimPort] = {}
+        self._remote_channel: Dict[int, DimPort] = {}
+        self._fabric_port: Dict[int, DimPort] = {}
+
+        self._rendezvous: Dict[Tuple, _CollectiveRendezvous] = {}
+        self._coll_seq: Dict[Tuple, int] = {}
+
+    # -- public ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule every trace's root nodes at the current time."""
+        for npu_id, trace in self.traces.items():
+            for node in trace.roots():
+                self.engine.schedule(0.0, self._issue, npu_id, node)
+
+    def run(self) -> float:
+        """Start and drain the simulation; returns the finish time.
+
+        Raises :class:`DeadlockError` if nodes remain incomplete after the
+        event queue drains (unmatched sends/recvs or collectives).
+        """
+        self.start()
+        self.engine.run()
+        if self._remaining > 0:
+            raise DeadlockError(self.diagnostics())
+        return self.finish_time
+
+    def diagnostics(self) -> str:
+        """Human-readable report of why the simulation is stuck.
+
+        Classifies incomplete nodes into: receives with no matching send,
+        collectives whose rendezvous is missing members, and nodes still
+        blocked on incomplete dependencies.
+        """
+        lines = [f"{self._remaining} nodes never completed:"]
+        blocked = []
+        issued_stuck = []
+        for (npu, node_id), deg in sorted(self._indegree.items()):
+            if deg < 0:
+                continue
+            node = self.traces[npu].node(node_id)
+            label = f"npu {npu} node {node_id} {node.node_type.value}"
+            if node.name:
+                label += f" ({node.name!r})"
+            if deg > 0:
+                blocked.append(f"  {label}: waiting on {deg} dependencies")
+            elif node.node_type is NodeType.COMM_RECV:
+                issued_stuck.append(
+                    f"  {label}: no matching send from npu {node.peer} "
+                    f"tag {node.tag}")
+            else:
+                issued_stuck.append(f"  {label}: issued but never completed")
+        lines.extend(issued_stuck[:10])
+        if self._rendezvous:
+            lines.append("incomplete collective rendezvous:")
+            for key, rendezvous in list(self._rendezvous.items())[:5]:
+                missing = sorted(rendezvous.participants
+                                 - set(rendezvous.arrived))
+                lines.append(
+                    f"  rep {key[0]}: arrived {sorted(rendezvous.arrived)}, "
+                    f"missing {missing}")
+        lines.extend(blocked[:10])
+        if self.network.pending_receives():
+            lines.append(
+                f"{self.network.pending_receives()} receives still posted, "
+                f"{self.network.undelivered_arrivals()} arrivals unclaimed "
+                "(check send/recv tags)")
+        return "\n".join(lines)
+
+    # -- resources ------------------------------------------------------------------
+
+    def _resource(self, table: Dict[int, DimPort], npu: int) -> DimPort:
+        port = table.get(npu)
+        if port is None:
+            port = table[npu] = DimPort()
+        return port
+
+    # -- node dispatch -----------------------------------------------------------------
+
+    def _issue(self, npu: int, node: ETNode) -> None:
+        if node.node_type is NodeType.COMPUTE:
+            self._issue_compute(npu, node)
+        elif node.is_memory:
+            self._issue_memory(npu, node)
+        elif node.node_type is NodeType.COMM_COLLECTIVE:
+            if node.attrs.get("via") == VIA_FABRIC:
+                self._issue_fabric_collective(npu, node)
+            else:
+                self._issue_collective(npu, node)
+        elif node.node_type is NodeType.COMM_SEND:
+            self._issue_send(npu, node)
+        elif node.node_type is NodeType.COMM_RECV:
+            self._issue_recv(npu, node)
+        else:  # pragma: no cover - schema is closed
+            raise ValueError(f"unhandled node type {node.node_type}")
+
+    def _issue_compute(self, npu: int, node: ETNode) -> None:
+        duration = self.config.compute.compute_time_ns(node.flops, node.tensor_bytes)
+        start, end = self._resource(self._compute_unit, npu).reserve(
+            self.engine.now, duration
+        )
+        self.activity.record(npu, start, end, Activity.COMPUTE, node.name)
+        self.engine.schedule_at(end, self._complete, npu, node)
+
+    def _issue_memory(self, npu: int, node: ETNode) -> None:
+        request = MemoryRequest(
+            size_bytes=node.tensor_bytes,
+            is_store=node.node_type is NodeType.MEMORY_STORE,
+            location=node.location,
+        )
+        if node.location is TensorLocation.REMOTE:
+            if node.attrs.get("via") == VIA_FABRIC:
+                # In-switch gather-load / scatter-store: the collective is
+                # fused into the memory access (Sec. IV-D model 3), hiding
+                # the communication inside the memory path.
+                model = self.config.fabric_collectives
+                if model is None:
+                    raise ValueError(
+                        f"node {node.name!r} requests an in-switch memory "
+                        "access but no fabric_collectives model is configured"
+                    )
+            else:
+                model = self.config.remote_memory
+                if model is None:
+                    raise ValueError(
+                        f"node {node.name!r} accesses remote memory but no "
+                        "remote_memory model is configured"
+                    )
+            channel = self._resource(self._remote_channel, npu)
+            activity = Activity.MEM_REMOTE
+        else:
+            model = self.config.local_memory
+            channel = self._resource(self._local_channel, npu)
+            activity = Activity.MEM_LOCAL
+        duration = model.access_time_ns(request)
+        start, end = channel.reserve(self.engine.now, duration)
+        self.activity.record(npu, start, end, activity, node.name)
+        self.engine.schedule_at(end, self._complete, npu, node)
+
+    def _issue_fabric_collective(self, npu: int, node: ETNode) -> None:
+        fabric = self.config.fabric_collectives
+        if fabric is None:
+            raise ValueError(
+                f"node {node.name!r} requests in-switch collectives but no "
+                "fabric_collectives model is configured"
+            )
+        duration = fabric.collective_time_ns(node.collective, node.tensor_bytes)
+        start, end = self._resource(self._fabric_port, npu).reserve(
+            self.engine.now, duration
+        )
+        self.activity.record(npu, start, end, Activity.COMM, node.name)
+        self.engine.schedule_at(end, self._complete, npu, node)
+
+    # -- collectives -----------------------------------------------------------------
+
+    def _issue_collective(self, npu: int, node: ETNode) -> None:
+        if not isinstance(self.network, AnalyticalNetwork):
+            raise ValueError(
+                f"collective node {node.name!r} requires the analytical "
+                "network backend; the packet-level backend supports "
+                "point-to-point traffic only (set network_backend="
+                "'analytical')"
+            )
+        topo = self.config.topology
+        dims = node.comm_dims if node.comm_dims is not None else tuple(
+            range(topo.num_dims)
+        )
+        group_shape = None
+        if node.involved_npus is not None:
+            group = node.involved_npus
+            group_shape = self._shape_of(group, dims, node)
+        else:
+            group = topo.group_across_dims(npu, dims)
+        rep = min(group)
+        comm_key = (rep, dims, group)
+        seq_key = (npu,) + comm_key
+        seq = self._coll_seq.get(seq_key, 0)
+        self._coll_seq[seq_key] = seq + 1
+        instance_key = comm_key + (seq,)
+
+        rendezvous = self._rendezvous.get(instance_key)
+        if rendezvous is None:
+            participants = set(group) & set(self.traces)
+            rendezvous = _CollectiveRendezvous(participants)
+            self._rendezvous[instance_key] = rendezvous
+        rendezvous.arrived[npu] = node.node_id
+
+        if set(rendezvous.arrived) == rendezvous.participants:
+            del self._rendezvous[instance_key]
+            self._start_collective(
+                node, dims, rep, len(group), rendezvous, group_shape
+            )
+
+    def _shape_of(
+        self, group: Tuple[int, ...], dims: Tuple[int, ...], node: ETNode
+    ) -> Dict[int, int]:
+        """Effective per-dimension size of an explicit member list.
+
+        The group must be a cartesian product of per-dimension coordinate
+        sets (that is what a hierarchical multi-rail collective requires);
+        anything else is rejected with a diagnostic.
+        """
+        topo = self.config.topology
+        coords = [topo.coords(member) for member in group]
+        shape: Dict[int, int] = {}
+        product = 1
+        for d in dims:
+            shape[d] = len({c[d] for c in coords})
+            product *= shape[d]
+        if product != len(set(group)):
+            raise ValueError(
+                f"collective {node.name!r}: involved_npus is not a cartesian "
+                f"product over dims {dims} (shape {shape} vs {len(group)} members)"
+            )
+        return shape
+
+    def _start_collective(
+        self,
+        node: ETNode,
+        dims: Tuple[int, ...],
+        rep: int,
+        group_size: int,
+        rendezvous: _CollectiveRendezvous,
+        group_shape: Optional[Dict[int, int]] = None,
+    ) -> None:
+        op = CollectiveOperation(
+            engine=self.engine,
+            network=self.network,
+            scheduler=self.scheduler,
+            collective=node.collective,
+            comm_dims=dims,
+            rep_npu=rep,
+            payload_bytes=node.tensor_bytes,
+            num_chunks=self.config.collective_chunks,
+            group_shape=group_shape,
+        )
+
+        def on_complete() -> None:
+            record = CollectiveRecord(
+                name=node.name,
+                collective=node.collective.value,
+                payload_bytes=node.tensor_bytes,
+                rep_npu=rep,
+                group_size=group_size,
+                start_ns=op.start_time,
+                finish_ns=self.engine.now,
+                traffic_by_dim=dict(op.traffic_by_dim),
+            )
+            self.collective_records.append(record)
+            for member, node_id in rendezvous.arrived.items():
+                self.activity.record(
+                    member, op.start_time, self.engine.now, Activity.COMM,
+                    node.name,
+                )
+                self._complete(member, self.traces[member].node(node_id))
+
+        op.on_complete = on_complete
+        op.start()
+
+    # -- point-to-point ---------------------------------------------------------------
+
+    def _issue_send(self, npu: int, node: ETNode) -> None:
+        issue_time = self.engine.now
+
+        def on_sent() -> None:
+            self.activity.record(npu, issue_time, self.engine.now,
+                                 Activity.COMM, node.name)
+            self._complete(npu, node)
+
+        self.network.sim_send(
+            npu, node.peer, node.tensor_bytes, tag=node.tag, callback=on_sent
+        )
+
+    def _issue_recv(self, npu: int, node: ETNode) -> None:
+        def on_received(_message) -> None:
+            self._complete(npu, node)
+
+        self.network.sim_recv(
+            npu, node.peer, node.tensor_bytes, tag=node.tag, callback=on_received
+        )
+
+    # -- completion --------------------------------------------------------------------
+
+    def _complete(self, npu: int, node: ETNode) -> None:
+        key = (npu, node.node_id)
+        if self._indegree.get(key, -1) < 0:
+            raise RuntimeError(f"node {key} completed twice")
+        self._indegree[key] = -1
+        self._remaining -= 1
+        self.nodes_executed += 1
+        self.finish_time = max(self.finish_time, self.engine.now)
+        trace = self.traces[npu]
+        for child_id in trace.children_of(node.node_id):
+            child_key = (npu, child_id)
+            self._indegree[child_key] -= 1
+            if self._indegree[child_key] == 0:
+                self.engine.schedule(0.0, self._issue, npu, trace.node(child_id))

@@ -1,0 +1,73 @@
+"""Simulation results: totals, breakdowns, per-collective records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.stats.breakdown import ActivityLog, Breakdown
+
+
+@dataclass
+class CollectiveRecord:
+    """One completed collective: identity, timing, per-dim traffic.
+
+    ``traffic_by_dim`` holds the bytes each NPU serialized into each
+    topology dimension — the quantity the paper's Table IV tabulates.
+    """
+
+    name: str
+    collective: str
+    payload_bytes: float
+    rep_npu: int
+    group_size: int
+    start_ns: float
+    finish_ns: float
+    traffic_by_dim: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> float:
+        return self.finish_ns - self.start_ns
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run.
+
+    Attributes:
+        total_time_ns: Simulation time when the last node completed.
+        breakdown: System-level exposed-time breakdown (averaged over
+            simulated NPUs).
+        per_npu_breakdown: Same, per NPU.
+        nodes_executed: ET nodes completed.
+        events_processed: Raw simulator events fired (a cost metric).
+        collectives: Per-collective records in completion order.
+        activity: The raw per-NPU interval log (drives timeline rendering
+            via :mod:`repro.stats.timeline`).
+    """
+
+    total_time_ns: float
+    breakdown: Breakdown
+    per_npu_breakdown: Dict[int, Breakdown]
+    nodes_executed: int
+    events_processed: int
+    collectives: List[CollectiveRecord] = field(default_factory=list)
+    activity: Optional[ActivityLog] = None
+
+    @property
+    def total_time_ms(self) -> float:
+        return self.total_time_ns * 1e-6
+
+    @property
+    def total_time_us(self) -> float:
+        return self.total_time_ns * 1e-3
+
+    def collective_named(self, name: str) -> CollectiveRecord:
+        """Look up one collective record by its ET node name."""
+        for record in self.collectives:
+            if record.name == name:
+                return record
+        raise KeyError(f"no collective named {name!r}")
+
+    def total_collective_time_ns(self) -> float:
+        return sum(r.duration_ns for r in self.collectives)

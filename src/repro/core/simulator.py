@@ -1,0 +1,75 @@
+"""Top-level simulator facade.
+
+Typical use::
+
+    from repro import Simulator, SystemConfig, parse_topology
+    from repro.workload import gpt3_175b, generate_megatron_hybrid, ParallelismSpec
+
+    topo = parse_topology("Ring(2)_FC(8)_Ring(8)_Switch(4)", [250, 200, 100, 50])
+    traces = generate_megatron_hybrid(gpt3_175b(), topo, ParallelismSpec(mp=16, dp=32))
+    result = Simulator(traces, SystemConfig(topology=topo, scheduler="themis")).run()
+    print(result.total_time_ms, result.breakdown.exposed_comm_ns)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.config import SystemConfig
+from repro.core.engine import ExecutionEngine
+from repro.core.results import RunResult
+from repro.events import EventEngine
+from repro.network.analytical import AnalyticalNetwork
+from repro.system.scheduler import make_scheduler
+from repro.trace.graph import ExecutionTrace
+
+
+class Simulator:
+    """Wires workload traces to the system, network, and memory layers."""
+
+    def __init__(self, traces: Dict[int, ExecutionTrace], config: SystemConfig) -> None:
+        self.config = config
+        self.engine = EventEngine()
+        if config.network_backend == "garnet":
+            from repro.network.garnetlite import GarnetLiteNetwork
+
+            self.network = GarnetLiteNetwork(self.engine, config.topology)
+        elif config.network_backend == "flow":
+            from repro.network.flowlevel import FlowLevelNetwork
+
+            self.network = FlowLevelNetwork(self.engine, config.topology)
+        else:
+            self.network = AnalyticalNetwork(self.engine, config.topology)
+        self.scheduler = make_scheduler(config.scheduler)
+        self.execution = ExecutionEngine(
+            engine=self.engine,
+            config=config,
+            network=self.network,
+            scheduler=self.scheduler,
+            traces=traces,
+        )
+
+    def run(self) -> RunResult:
+        """Run to completion and collect results."""
+        total = self.execution.run()
+        per_npu = {
+            npu: self.execution.activity.breakdown(npu, total)
+            for npu in self.execution.traces
+        }
+        from repro.stats.breakdown import Breakdown
+
+        breakdown = Breakdown.merge(list(per_npu.values()))
+        return RunResult(
+            total_time_ns=total,
+            breakdown=breakdown,
+            per_npu_breakdown=per_npu,
+            nodes_executed=self.execution.nodes_executed,
+            events_processed=self.engine.events_processed,
+            collectives=list(self.execution.collective_records),
+            activity=self.execution.activity,
+        )
+
+
+def simulate(traces: Dict[int, ExecutionTrace], config: SystemConfig) -> RunResult:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    return Simulator(traces, config).run()

@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is the substrate every other layer of the simulator is
+built on.  It provides a deterministic, single-threaded event queue with a
+simulation clock (:class:`EventEngine`), lightweight one-shot timers, and a
+few reusable synchronization primitives (:class:`Barrier`,
+:class:`Semaphore`) used by the system and memory layers.
+
+The kernel is callback-based rather than coroutine-based: ASTRA-sim's
+NetworkAPI is itself a callback protocol (``sim_send(..., callback)``), so a
+callback kernel keeps the port faithful and avoids generator bookkeeping in
+the hot path.
+"""
+
+from repro.events.engine import Event, EventEngine, SimulationError
+from repro.events.primitives import Barrier, CallbackList, Semaphore
+
+__all__ = [
+    "Barrier",
+    "CallbackList",
+    "Event",
+    "EventEngine",
+    "Semaphore",
+    "SimulationError",
+]

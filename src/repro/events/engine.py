@@ -1,0 +1,176 @@
+"""Deterministic discrete-event engine.
+
+The engine maintains a priority queue of :class:`Event` objects keyed by
+``(time, priority, sequence)``.  The sequence number makes ordering total and
+deterministic: two events scheduled for the same timestamp always fire in
+the order they were scheduled (FIFO), which keeps simulations reproducible
+across runs and Python versions.
+
+Time is a ``float`` in an arbitrary unit; the rest of the library uses
+**nanoseconds** by convention (see :mod:`repro.core.config`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine usage (e.g. scheduling into the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, seq)``; ``fn`` and ``args`` are
+    excluded from ordering.  Cancelled events stay in the heap and are
+    discarded when popped (lazy deletion), which keeps cancellation O(1).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+
+class EventEngine:
+    """Single-threaded deterministic event loop with a simulation clock.
+
+    Usage::
+
+        engine = EventEngine()
+        engine.schedule(10.0, lambda: print("fired at", engine.now))
+        engine.run()
+
+    The engine is *not* re-entrant across threads.  Callbacks may freely
+    schedule further events, including at the current time.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` to fire ``delay`` time units from now.
+
+        ``delay`` must be non-negative.  Lower ``priority`` fires first among
+        events with the same timestamp; ties break FIFO.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = Event(time=time, priority=priority, seq=self._seq, fn=fn, args=args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the final simulation time.  Events scheduled exactly at
+        ``until`` still fire (the bound is inclusive).
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                self._events_processed += 1
+                fired += 1
+                event.fn(*event.args)
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight callback returns."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Fire exactly one event.  Returns False if the queue was empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def reset(self) -> None:
+        """Discard all pending events and rewind the clock to zero."""
+        if self._running:
+            raise SimulationError("cannot reset a running engine")
+        self._queue.clear()
+        self._now = 0.0
+        self._seq = 0
+        self._events_processed = 0

@@ -1,0 +1,117 @@
+"""Synchronization primitives on top of the event engine.
+
+These are small, callback-style analogues of the usual concurrency
+primitives.  They carry no time of their own — they only sequence callbacks
+— so they compose with :class:`~repro.events.engine.EventEngine` scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.events.engine import EventEngine, SimulationError
+
+
+class CallbackList:
+    """An ordered list of callbacks fired exactly once.
+
+    Used to let multiple parties wait for a single completion (e.g. several
+    ET nodes depending on one collective).  Callbacks registered after the
+    fire are invoked immediately.
+    """
+
+    def __init__(self) -> None:
+        self._callbacks: List[Callable[[], None]] = []
+        self._fired = False
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def add(self, fn: Callable[[], None]) -> None:
+        if self._fired:
+            fn()
+        else:
+            self._callbacks.append(fn)
+
+    def fire(self) -> None:
+        if self._fired:
+            raise SimulationError("CallbackList fired twice")
+        self._fired = True
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn()
+
+
+class Barrier:
+    """Fires a callback after ``parties`` arrivals.
+
+    The canonical use is the synchronous-training join point: the last NPU
+    to finish an iteration releases everyone.
+    """
+
+    def __init__(self, parties: int, on_release: Callable[[], None]) -> None:
+        if parties <= 0:
+            raise ValueError(f"parties must be positive, got {parties}")
+        self._parties = parties
+        self._arrived = 0
+        self._on_release = on_release
+        self._released = False
+
+    @property
+    def arrived(self) -> int:
+        return self._arrived
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def arrive(self) -> None:
+        if self._released:
+            raise SimulationError("arrival after barrier release")
+        self._arrived += 1
+        if self._arrived > self._parties:
+            raise SimulationError("more arrivals than barrier parties")
+        if self._arrived == self._parties:
+            self._released = True
+            self._on_release()
+
+
+class Semaphore:
+    """Counting semaphore: serializes access to a contended resource.
+
+    Waiters are released FIFO.  Used e.g. to bound concurrent chunks in
+    flight on one network dimension.
+    """
+
+    def __init__(self, engine: EventEngine, permits: int) -> None:
+        if permits <= 0:
+            raise ValueError(f"permits must be positive, got {permits}")
+        self._engine = engine
+        self._permits = permits
+        self._waiters: List[Callable[[], None]] = []
+
+    @property
+    def available(self) -> int:
+        return self._permits
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` once a permit is available (possibly immediately)."""
+        if self._permits > 0:
+            self._permits -= 1
+            fn()
+        else:
+            self._waiters.append(fn)
+
+    def release(self) -> None:
+        """Return a permit; hands it straight to the oldest waiter if any."""
+        if self._waiters:
+            fn = self._waiters.pop(0)
+            # Schedule at now so the waiter runs outside the releaser's frame.
+            self._engine.schedule(0.0, fn)
+        else:
+            self._permits += 1

@@ -1,0 +1,153 @@
+"""Memory-capacity accounting: why disaggregation is needed (Sec. III-C).
+
+"It is well known that the limited capacity of GPUs is the major
+bottleneck in large-model training."  This module quantifies that: given
+a model spec and a parallelization strategy, it estimates the per-NPU
+memory footprint (parameters, gradients, optimizer state, activations)
+and checks it against an HBM capacity, reporting how many bytes must be
+offloaded to a remote pool — the input that decides whether a workload
+needs :class:`~repro.memory.remote.HierarchicalRemoteMemory` or
+:class:`~repro.memory.zero_infinity.ZeroInfinityMemory` at all.
+
+Byte accounting follows the ZeRO paper's mixed-precision convention:
+2 bytes/param for fp16 weights, 2 for fp16 gradients, and 12 for
+optimizer state (fp32 master weights + Adam momentum + variance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.workload.models import MoESpec, TransformerSpec
+from repro.workload.parallelism import ParallelismSpec
+
+PARAM_BYTES = 2
+GRAD_BYTES = 2
+OPTIMIZER_BYTES = 12
+ACTIVATION_FACTOR = 12  # bytes per token per hidden unit, checkpointing off
+
+GiB = 1 << 30
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Per-NPU memory demand in bytes."""
+
+    params: int
+    grads: int
+    optimizer: int
+    activations: int
+
+    @property
+    def total(self) -> int:
+        return self.params + self.grads + self.optimizer + self.activations
+
+    @property
+    def model_state(self) -> int:
+        """Params + grads + optimizer — what ZeRO partitions/offloads."""
+        return self.params + self.grads + self.optimizer
+
+    def __str__(self) -> str:
+        return (
+            f"params {self.params / GiB:.1f} GiB + grads "
+            f"{self.grads / GiB:.1f} + optimizer {self.optimizer / GiB:.1f} "
+            f"+ activations {self.activations / GiB:.1f} "
+            f"= {self.total / GiB:.1f} GiB"
+        )
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Outcome of checking a footprint against an HBM capacity."""
+
+    footprint: MemoryFootprint
+    hbm_bytes: int
+
+    @property
+    def fits(self) -> bool:
+        return self.footprint.total <= self.hbm_bytes
+
+    @property
+    def offload_bytes(self) -> int:
+        """Model-state bytes that must live remotely for the rest to fit.
+
+        Activations have to stay local; if they alone exceed HBM the
+        configuration is infeasible regardless of offload.
+        """
+        spill = self.footprint.total - self.hbm_bytes
+        return max(0, min(spill, self.footprint.model_state))
+
+    @property
+    def feasible_with_offload(self) -> bool:
+        return self.footprint.activations <= self.hbm_bytes
+
+
+def transformer_footprint(
+    model: TransformerSpec,
+    spec: ParallelismSpec,
+    zero_stage: int = 0,
+) -> MemoryFootprint:
+    """Per-NPU footprint of a dense transformer under MP x PP x DP.
+
+    ``zero_stage`` partitions model state across the DP degree:
+    1 = optimizer state, 2 = +gradients, 3 = +parameters (FSDP).
+    """
+    if not 0 <= zero_stage <= 3:
+        raise ValueError(f"zero_stage must be 0..3, got {zero_stage}")
+    shard = spec.mp * spec.pp
+    params_per_npu = model.total_params // shard
+    dp = spec.dp
+
+    params = params_per_npu * PARAM_BYTES
+    grads = params_per_npu * GRAD_BYTES
+    optimizer = params_per_npu * OPTIMIZER_BYTES
+    if zero_stage >= 1:
+        optimizer //= dp
+    if zero_stage >= 2:
+        grads //= dp
+    if zero_stage >= 3:
+        params //= dp
+
+    tokens = model.batch_per_replica * model.seq_len
+    layers_per_npu = max(1, model.num_layers // spec.pp)
+    activations = (
+        layers_per_npu * tokens * model.hidden * ACTIVATION_FACTOR // spec.mp
+    )
+    return MemoryFootprint(params, grads, optimizer, activations)
+
+
+def moe_footprint(
+    model: MoESpec,
+    num_gpus: int,
+    zero_stage: int = 3,
+) -> MemoryFootprint:
+    """Per-GPU footprint of an expert-parallel MoE model.
+
+    Experts shard naturally across GPUs (expert parallelism); dense
+    parameters follow the given ZeRO stage across all GPUs.
+    """
+    if num_gpus < 1:
+        raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+    expert_params = model.num_moe_layers * model.expert_params_per_gpu(num_gpus)
+    dense_params = model.dense_params
+    if zero_stage >= 3:
+        dense_params //= num_gpus
+    params_per_gpu = expert_params + dense_params
+
+    params = params_per_gpu * PARAM_BYTES
+    grads = params_per_gpu * GRAD_BYTES
+    optimizer = params_per_gpu * OPTIMIZER_BYTES
+    if zero_stage >= 1 and zero_stage < 3:
+        optimizer //= num_gpus
+
+    tokens = model.tokens_per_gpu()
+    activations = model.num_layers * tokens * model.hidden * ACTIVATION_FACTOR
+    return MemoryFootprint(params, grads, optimizer, activations)
+
+
+def check_capacity(
+    footprint: MemoryFootprint, hbm_gib: float
+) -> CapacityReport:
+    """Check a footprint against an HBM capacity given in GiB."""
+    if hbm_gib <= 0:
+        raise ValueError(f"hbm_gib must be positive, got {hbm_gib}")
+    return CapacityReport(footprint=footprint, hbm_bytes=int(hbm_gib * GiB))

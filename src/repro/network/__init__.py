@@ -1,0 +1,35 @@
+"""Multi-dimensional hierarchical network modeling (paper Secs. IV-B, IV-C).
+
+This subpackage provides:
+
+- the **topology taxonomy**: :class:`BuildingBlock` (Ring / FullyConnected /
+  Switch), :class:`DimSpec`, and :class:`MultiDimTopology`, including the
+  string notation parser (``"Ring(4)_FC(2)_Switch(8)"``);
+- the **NetworkAPI** callback protocol (:class:`NetworkBackend`);
+- the **analytical backend** (:class:`AnalyticalNetwork`) computing
+  ``time = latency * hops + size / bandwidth`` with egress-port
+  serialization, and
+- **Garnet-lite** (:class:`GarnetLiteNetwork`), a packet-level cycle-driven
+  backend used as the slow, detailed reference in the speedup study.
+"""
+
+from repro.network.building_blocks import BuildingBlock, block_from_name
+from repro.network.topology import DimSpec, MultiDimTopology, TopologyError, parse_topology
+from repro.network.api import Message, NetworkBackend
+from repro.network.analytical import AnalyticalNetwork
+from repro.network.flowlevel import FlowLevelNetwork
+from repro.network.garnetlite import GarnetLiteNetwork
+
+__all__ = [
+    "AnalyticalNetwork",
+    "BuildingBlock",
+    "DimSpec",
+    "FlowLevelNetwork",
+    "GarnetLiteNetwork",
+    "Message",
+    "MultiDimTopology",
+    "NetworkBackend",
+    "TopologyError",
+    "block_from_name",
+    "parse_topology",
+]

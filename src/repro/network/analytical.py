@@ -1,0 +1,208 @@
+"""Analytical network backend (paper Sec. IV-C).
+
+Transfers are costed with the closed-form equation::
+
+    time = link_latency * hops + message_size / link_bandwidth
+
+instead of packet-level simulation.  The one piece of state the backend
+keeps is **egress-port serialization**: each NPU owns one injection port per
+topology dimension, and consecutive transfers on the same port queue behind
+each other.  That is what produces pipeline bubbles on multi-dimensional
+topologies and lets chunked hierarchical collectives overlap across
+dimensions — the effect the paper's case studies measure.
+
+The paper validates this model against real NCCL measurements (mean error
+5%, Fig. 4) and reports ~756x speedup over the Garnet cycle-level backend;
+both experiments are reproduced in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.events import EventEngine
+from repro.network.api import Message, NetworkBackend
+from repro.network.topology import MultiDimTopology
+
+
+class DimPort:
+    """A serializing egress port: tracks when it next becomes free.
+
+    Reservation is O(1): a request at simulation time ``t`` starts at
+    ``max(t, free_at)`` and occupies the port for its serialization time.
+    Because the event engine hands us requests in time order, this simple
+    bookkeeping is equivalent to a FIFO queue.
+    """
+
+    __slots__ = ("free_at", "busy_ns", "reservations")
+
+    def __init__(self) -> None:
+        self.free_at = 0.0
+        self.busy_ns = 0.0
+        self.reservations = 0
+
+    def reserve(self, now: float, duration: float) -> Tuple[float, float]:
+        """Reserve the port for ``duration`` ns; returns (start, end)."""
+        start = max(now, self.free_at)
+        end = start + duration
+        self.free_at = end
+        self.busy_ns += duration
+        self.reservations += 1
+        return start, end
+
+    def backlog(self, now: float) -> float:
+        """Nanoseconds of queued work ahead of a request made now."""
+        return max(0.0, self.free_at - now)
+
+
+class AnalyticalNetwork(NetworkBackend):
+    """Closed-form latency/bandwidth backend with port serialization."""
+
+    def __init__(self, engine: EventEngine, topology: MultiDimTopology) -> None:
+        super().__init__(engine, topology)
+        self._ports: Dict[Tuple[int, int], DimPort] = {}
+        # Port time planned by chunk schedulers but not yet reserved —
+        # lets concurrent collectives see each other's commitments.
+        self._pending: Dict[Tuple[int, int], float] = {}
+        # Shared fabric capacity per dimension group, engaged only for
+        # oversubscribed dimensions (first-order congestion model).
+        self._fabrics: Dict[Tuple[int, Tuple[int, ...]], DimPort] = {}
+
+    # -- port management -----------------------------------------------------------
+
+    def port(self, npu: int, dim: int) -> DimPort:
+        """The egress port of ``npu`` into dimension ``dim`` (lazily created)."""
+        key = (npu, dim)
+        existing = self._ports.get(key)
+        if existing is None:
+            existing = self._ports[key] = DimPort()
+        return existing
+
+    def port_backlog(self, npu: int, dim: int) -> float:
+        """Queued nanoseconds on a port; 0.0 if the port was never used."""
+        port = self._ports.get((npu, dim))
+        return port.backlog(self.engine.now) if port else 0.0
+
+    def fabric(self, npu: int, dim: int) -> DimPort:
+        """The shared fabric of ``npu``'s dimension-``dim`` group."""
+        coords = list(self.topology.coords(npu))
+        coords[dim] = 0
+        key = (dim, tuple(coords))
+        existing = self._fabrics.get(key)
+        if existing is None:
+            existing = self._fabrics[key] = DimPort()
+        return existing
+
+    def reserve_port(self, npu: int, dim: int, busy_ns: float,
+                     symmetric: bool = False) -> Tuple[float, float]:
+        """Occupy an egress port for ``busy_ns``; returns (start, end).
+
+        Used by the system layer to model one collective phase as a single
+        port occupation rather than individual sends.
+
+        On oversubscribed dimensions the transfer additionally occupies
+        the group's shared fabric (the first-order congestion model);
+        completion is the later of port and fabric.  ``symmetric=True``
+        marks a collective phase in the representative-port model, where
+        every group member injects the same traffic simultaneously: the
+        fabric load is the whole group's (``busy * oversubscription``)
+        rather than one sender's share.  Non-oversubscribed dimensions
+        skip the fabric entirely and reduce to the paper's
+        congestion-free closed form.
+        """
+        if busy_ns < 0:
+            raise ValueError(f"negative busy time {busy_ns}")
+        start, end = self.port(npu, dim).reserve(self.engine.now, busy_ns)
+        spec = self.topology.dims[dim]
+        if spec.oversubscription > 1.0 and spec.size > 1:
+            if symmetric:
+                fabric_busy = busy_ns * spec.oversubscription
+            else:
+                fabric_busy = busy_ns * spec.oversubscription / spec.size
+            _, fabric_end = self.fabric(npu, dim).reserve(
+                self.engine.now, fabric_busy)
+            end = max(end, fabric_end)
+        return start, end
+
+    # -- planned (not yet reserved) load ---------------------------------------------
+
+    def pending_load(self, npu: int, dim: int) -> float:
+        """Port time planned by chunk schedulers but not yet reserved."""
+        return self._pending.get((npu, dim), 0.0)
+
+    def add_pending(self, npu: int, dim: int, amount_ns: float) -> None:
+        """Register planned future port time (chunk committed to a plan)."""
+        key = (npu, dim)
+        self._pending[key] = self._pending.get(key, 0.0) + amount_ns
+
+    def consume_pending(self, npu: int, dim: int, amount_ns: float) -> None:
+        """Convert planned time into a reservation (clamped at zero)."""
+        key = (npu, dim)
+        remaining = self._pending.get(key, 0.0) - amount_ns
+        if remaining <= 1e-9:
+            self._pending.pop(key, None)
+        else:
+            self._pending[key] = remaining
+
+    # -- point-to-point -------------------------------------------------------------
+
+    def serialization_time(self, size_bytes: int, dim: int) -> float:
+        """Bandwidth term: size / per-dim injection bandwidth, in ns."""
+        bw = self.topology.dims[dim].bandwidth_gbps  # GB/s == bytes/ns
+        return size_bytes / bw
+
+    def propagation_time(self, src: int, dest: int) -> float:
+        """Latency term: sum of per-dimension hop latencies, in ns."""
+        a = self.topology.coords(src)
+        b = self.topology.coords(dest)
+        total = 0.0
+        from repro.network.building_blocks import hops_between
+
+        for dim_idx, dim in enumerate(self.topology.dims):
+            hop = hops_between(dim.block, dim.size, a[dim_idx], b[dim_idx])
+            total += hop * dim.latency_ns
+        return total
+
+    def _differing_dims(self, src: int, dest: int) -> list:
+        a = self.topology.coords(src)
+        b = self.topology.coords(dest)
+        return [i for i, (ca, cb) in enumerate(zip(a, b)) if ca != cb]
+
+    def transfer_time(self, src: int, dest: int, size_bytes: int) -> float:
+        """Unloaded end-to-end transfer time (no queueing).
+
+        Multi-dimensional routes (dimension-order, like the packet
+        backend) serialize once per crossed dimension — store-and-forward
+        at each level's line rate.
+        """
+        return self.propagation_time(src, dest) + sum(
+            self.serialization_time(size_bytes, d)
+            for d in self._differing_dims(src, dest)
+        )
+
+    def _transmit(self, message: Message, on_sent: Optional[Callable[[], None]]) -> None:
+        dims = self._differing_dims(message.src, message.dest)
+        if not dims:
+            raise ValueError(
+                f"no route: NPUs {message.src} and {message.dest} coincide"
+            )
+        prop = self.propagation_time(message.src, message.dest)
+        # The sender's port on the first crossed dimension is the
+        # contended injection point; the remaining dimensions relay at
+        # line rate (store-and-forward) without modeled contention.
+        inject = self.serialization_time(message.size_bytes, dims[0])
+        _, sent_at = self.reserve_port(message.src, dims[0], inject)
+        relay = sum(self.serialization_time(message.size_bytes, d)
+                    for d in dims[1:])
+        if on_sent is not None:
+            self.engine.schedule_at(sent_at, on_sent)
+        self.engine.schedule_at(sent_at + relay + prop, self._deliver, message)
+
+    # -- statistics -----------------------------------------------------------------
+
+    def port_utilization(self, npu: int, dim: int) -> float:
+        """Fraction of elapsed time a port spent serializing."""
+        port = self._ports.get((npu, dim))
+        if port is None or self.engine.now == 0:
+            return 0.0
+        return min(1.0, port.busy_ns / self.engine.now)

@@ -1,0 +1,151 @@
+"""Garnet-lite: a packet-level, cycle-driven network backend.
+
+This is the detailed (and deliberately slow) reference backend standing in
+for gem5's Garnet in the paper's speedup study (Sec. IV-C).  Messages are
+segmented into fixed-size packets; every packet is routed hop-by-hop with
+dimension-order routing through an explicit link graph, with
+store-and-forward serialization and per-link contention.  Every packet hop
+is one simulator event — exactly the per-packet cost that makes
+cycle-level network simulation three orders of magnitude slower than the
+analytical backend.
+
+Unlike :class:`~repro.network.analytical.AnalyticalNetwork`, this backend
+models link oversubscription and congestion, so it doubles as a ground
+truth for the analytical model's accuracy on congestion-free collective
+traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.events import EventEngine
+from repro.network.api import Message, NetworkBackend
+from repro.network.linkgraph import NodeId, build_links, dimension_order_route
+from repro.network.topology import MultiDimTopology, TopologyError
+
+DEFAULT_PACKET_BYTES = 4096
+
+
+class _Link:
+    """A directed link: serializing resource with latency."""
+
+    __slots__ = ("bandwidth", "latency_ns", "free_at", "bytes_carried")
+
+    def __init__(self, bandwidth_gbps: float, latency_ns: float) -> None:
+        self.bandwidth = bandwidth_gbps  # GB/s == bytes/ns
+        self.latency_ns = latency_ns
+        self.free_at = 0.0
+        self.bytes_carried = 0
+
+    def transmit(self, now: float, size_bytes: int) -> Tuple[float, float]:
+        """Serialize a packet; returns (departure_complete, arrival)."""
+        start = max(now, self.free_at)
+        done = start + size_bytes / self.bandwidth
+        self.free_at = done
+        self.bytes_carried += size_bytes
+        return done, done + self.latency_ns
+
+
+class _PacketFlow:
+    """Book-keeping for one message's packets in flight."""
+
+    __slots__ = ("message", "on_sent", "packets_total", "packets_arrived",
+                 "packets_injected", "backend")
+
+    def __init__(self, backend: "GarnetLiteNetwork", message: Message,
+                 on_sent: Optional[Callable[[], None]], packets_total: int) -> None:
+        self.backend = backend
+        self.message = message
+        self.on_sent = on_sent
+        self.packets_total = packets_total
+        self.packets_arrived = 0
+        self.packets_injected = 0
+
+
+class GarnetLiteNetwork(NetworkBackend):
+    """Packet-level backend with per-link contention.
+
+    Args:
+        engine: The shared event engine.
+        topology: Physical topology; links are derived per building block
+            (ring: two directed neighbor links at half the dim bandwidth
+            each; fully-connected: k-1 links at bw/(k-1); switch: one
+            uplink/downlink pair at full dim bandwidth through a fabric
+            node with zero internal serialization).
+        packet_bytes: Packet segmentation size.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        topology: MultiDimTopology,
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+    ) -> None:
+        super().__init__(engine, topology)
+        if packet_bytes <= 0:
+            raise ValueError(f"packet_bytes must be positive, got {packet_bytes}")
+        self.packet_bytes = packet_bytes
+        self._links: Dict[Tuple[NodeId, NodeId], _Link] = {}
+        self.packet_hops = 0
+        self._build_links()
+
+    # -- link graph --------------------------------------------------------------
+
+    def _build_links(self) -> None:
+        self._links = build_links(
+            self.topology, lambda bw, lat: _Link(bw, lat))
+
+    def route(self, src: int, dst: int) -> List[NodeId]:
+        """Dimension-order route from src to dst (inclusive of endpoints)."""
+        return dimension_order_route(self.topology, src, dst)
+
+    # -- transmission ------------------------------------------------------------
+
+    def _transmit(self, message: Message, on_sent: Optional[Callable[[], None]]) -> None:
+        path = self.route(message.src, message.dest)
+        if len(path) < 2:
+            raise TopologyError(
+                f"no route from {message.src} to {message.dest}"
+            )
+        n_packets = max(1, -(-message.size_bytes // self.packet_bytes))
+        flow = _PacketFlow(self, message, on_sent, n_packets)
+        remaining = message.size_bytes
+        for _ in range(n_packets):
+            size = min(self.packet_bytes, remaining) if remaining else self.packet_bytes
+            remaining -= size
+            self._hop(flow, path, hop_idx=0, size=max(1, size))
+
+    def _hop(self, flow: _PacketFlow, path: List[NodeId], hop_idx: int, size: int) -> None:
+        """Advance one packet across link ``path[hop_idx] -> path[hop_idx+1]``."""
+        link = self._links.get((path[hop_idx], path[hop_idx + 1]))
+        if link is None:
+            raise TopologyError(
+                f"missing link {path[hop_idx]!r} -> {path[hop_idx + 1]!r}"
+            )
+        departed, arrived = link.transmit(self.engine.now, size)
+        self.packet_hops += 1
+        if hop_idx == 0:
+            flow.packets_injected += 1
+            if flow.packets_injected == flow.packets_total and flow.on_sent:
+                self.engine.schedule_at(departed, flow.on_sent)
+        if hop_idx + 2 == len(path):
+            self.engine.schedule_at(arrived, self._packet_arrived, flow)
+        else:
+            self.engine.schedule_at(
+                arrived, self._hop, flow, path, hop_idx + 1, size
+            )
+
+    def _packet_arrived(self, flow: _PacketFlow) -> None:
+        flow.packets_arrived += 1
+        if flow.packets_arrived == flow.packets_total:
+            self._deliver(flow.message)
+
+    # -- statistics ----------------------------------------------------------------
+
+    def link_count(self) -> int:
+        return len(self._links)
+
+    def max_link_bytes(self) -> int:
+        """Heaviest-loaded link — nonuniformity here indicates congestion."""
+        return max((l.bytes_carried for l in self._links.values()), default=0)

@@ -1,0 +1,107 @@
+"""Shared link-graph construction and routing for detailed backends.
+
+Both the packet-level (:mod:`repro.network.garnetlite`) and flow-level
+(:mod:`repro.network.flowlevel`) backends expand a
+:class:`~repro.network.topology.MultiDimTopology` into an explicit graph
+of directed links and route with dimension-order routing.  Switch dims
+introduce fabric nodes (``("sw", dim, group-coords)``).
+
+Link provisioning mirrors the analytical model's serialization rates:
+ring links are full-duplex at line rate (the dim bandwidth is per
+direction), fully-connected fans the dim bandwidth across its k-1 links,
+and a switch gives each NPU a full-rate uplink/downlink pair.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Tuple
+
+from repro.network.building_blocks import BuildingBlock
+from repro.network.topology import MultiDimTopology
+
+NodeId = Hashable  # NPU ids are ints; switch fabrics are ("sw", dim, coords).
+LinkKey = Tuple[NodeId, NodeId]
+
+
+def switch_node(topology: MultiDimTopology, npu: int, dim_idx: int) -> NodeId:
+    """Fabric node shared by the NPU's dim group."""
+    coords = list(topology.coords(npu))
+    coords[dim_idx] = 0  # group identity: zero out the dim coordinate
+    return ("sw", dim_idx, tuple(coords))
+
+
+def build_links(
+    topology: MultiDimTopology,
+    make_link: Callable[[float, float], object],
+) -> Dict[LinkKey, object]:
+    """Expand the topology into directed links.
+
+    ``make_link(bandwidth_gbps, latency_ns)`` constructs the backend's
+    per-link state object.
+    """
+    links: Dict[LinkKey, object] = {}
+
+    def add(a: NodeId, b: NodeId, bw: float, lat: float) -> None:
+        links[(a, b)] = make_link(bw, lat)
+
+    for dim_idx, dim in enumerate(topology.dims):
+        if dim.size <= 1:
+            continue
+        # Ring links are full-duplex at line rate; FC fans the dim
+        # bandwidth across its k-1 links; a switch uplink runs at line
+        # rate.  Oversubscription is a property of switch fabrics and is
+        # modeled by detailed backends at the fabric node's links.
+        if dim.block is BuildingBlock.FULLY_CONNECTED:
+            per_link_bw = dim.bandwidth_gbps / max(1, dim.size - 1)
+        else:
+            per_link_bw = dim.bandwidth_gbps
+        for npu in range(topology.num_npus):
+            coords = topology.coords(npu)
+            me = coords[dim_idx]
+            if dim.block is BuildingBlock.RING:
+                for step in (1, -1) if dim.size > 2 else (1,):
+                    neighbor = list(coords)
+                    neighbor[dim_idx] = (me + step) % dim.size
+                    add(npu, topology.npu_id(neighbor), per_link_bw,
+                        dim.latency_ns)
+            elif dim.block is BuildingBlock.FULLY_CONNECTED:
+                for other in range(dim.size):
+                    if other == me:
+                        continue
+                    neighbor = list(coords)
+                    neighbor[dim_idx] = other
+                    add(npu, topology.npu_id(neighbor), per_link_bw,
+                        dim.latency_ns)
+            else:  # SWITCH: two hops at full per-hop latency
+                fabric = switch_node(topology, npu, dim_idx)
+                add(npu, fabric, dim.bandwidth_gbps, dim.latency_ns)
+                add(fabric, npu, dim.bandwidth_gbps, dim.latency_ns)
+    return links
+
+
+def dimension_order_route(
+    topology: MultiDimTopology, src: int, dst: int
+) -> List[NodeId]:
+    """Dimension-order route from src to dst (inclusive of endpoints)."""
+    path: List[NodeId] = [src]
+    current = list(topology.coords(src))
+    target = topology.coords(dst)
+    for dim_idx, dim in enumerate(topology.dims):
+        if current[dim_idx] == target[dim_idx]:
+            continue
+        if dim.block is BuildingBlock.RING:
+            k = dim.size
+            forward = (target[dim_idx] - current[dim_idx]) % k
+            step = 1 if forward <= k - forward else -1
+            while current[dim_idx] != target[dim_idx]:
+                current[dim_idx] = (current[dim_idx] + step) % k
+                path.append(topology.npu_id(current))
+        elif dim.block is BuildingBlock.FULLY_CONNECTED:
+            current[dim_idx] = target[dim_idx]
+            path.append(topology.npu_id(current))
+        else:  # SWITCH
+            here = topology.npu_id(current)
+            path.append(switch_node(topology, here, dim_idx))
+            current[dim_idx] = target[dim_idx]
+            path.append(topology.npu_id(current))
+    return path

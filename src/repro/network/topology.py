@@ -1,0 +1,283 @@
+"""Multi-dimensional topology representation and string-notation parser.
+
+A topology is an ordered stack of dimensions (paper Fig. 3b).  Dimension 1
+(index 0 here) is the innermost/fastest network — on-chip or on-wafer — and
+the last dimension is the scale-out network.  NPU ids map to mixed-radix
+coordinates with **dimension 0 varying fastest**, so NPUs 0..k1-1 share a
+dim-0 group, matching the paper's placement convention.
+
+The string notation mirrors the paper: ``"Ring(4)_FC(2)_Switch(8)"`` with
+per-dimension bandwidths supplied separately (``"250_200_100"`` GB/s style)
+or inline via :func:`parse_topology`'s ``bandwidths_gbps`` argument.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.network.building_blocks import (
+    BuildingBlock,
+    block_from_name,
+    hops_between,
+    links_per_npu,
+)
+
+
+class TopologyError(ValueError):
+    """Raised for malformed topology descriptions or invalid NPU ids."""
+
+
+@dataclass(frozen=True)
+class DimSpec:
+    """One dimension of a hierarchical topology.
+
+    Attributes:
+        block: Building-block type of this dimension.
+        size: Number of NPUs (or groups) connected at this level; >= 1.
+        bandwidth_gbps: Per-NPU aggregate injection bandwidth into this
+            dimension, in GB/s (1 GB = 1e9 bytes, so numerically equal to
+            bytes/ns).
+        latency_ns: Per-hop link latency in nanoseconds.
+        oversubscription: Fabric oversubscription ratio (>= 1).  The
+            dimension's shared fabric carries at most
+            ``size * bandwidth / oversubscription`` bytes/ns in aggregate;
+            at 1.0 (the default) the fabric is non-blocking and the
+            analytical model reduces to the paper's congestion-free
+            equation.  Values > 1 enable the first-order congestion model
+            the paper lists as future work (Sec. IV-C, footnote 5).
+    """
+
+    block: BuildingBlock
+    size: int
+    bandwidth_gbps: float
+    latency_ns: float = 500.0
+    oversubscription: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise TopologyError(f"dimension size must be >= 1, got {self.size}")
+        if self.bandwidth_gbps <= 0:
+            raise TopologyError(
+                f"bandwidth must be positive, got {self.bandwidth_gbps}"
+            )
+        if self.latency_ns < 0:
+            raise TopologyError(f"latency must be >= 0, got {self.latency_ns}")
+        if self.oversubscription < 1.0:
+            raise TopologyError(
+                f"oversubscription must be >= 1, got {self.oversubscription}"
+            )
+
+    @property
+    def fabric_bandwidth_gbps(self) -> float:
+        """Aggregate bytes/ns the dimension's shared fabric can carry."""
+        return self.size * self.bandwidth_gbps / self.oversubscription
+
+
+class MultiDimTopology:
+    """An ordered stack of :class:`DimSpec` dimensions.
+
+    Provides id<->coordinate mapping, per-dimension group computation, hop
+    counts, and aggregate properties used by the collective scheduler.
+    """
+
+    def __init__(self, dims: Sequence[DimSpec], name: str = "") -> None:
+        if not dims:
+            raise TopologyError("topology needs at least one dimension")
+        self.dims: Tuple[DimSpec, ...] = tuple(dims)
+        self.name = name or self.notation()
+        self._strides: List[int] = []
+        stride = 1
+        for dim in self.dims:
+            self._strides.append(stride)
+            stride *= dim.size
+        self._num_npus = stride
+
+    # -- basic properties ---------------------------------------------------------
+
+    @property
+    def num_dims(self) -> int:
+        return len(self.dims)
+
+    @property
+    def num_npus(self) -> int:
+        return self._num_npus
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(d.size for d in self.dims)
+
+    def total_bandwidth_gbps(self) -> float:
+        """Aggregate injection bandwidth per NPU across all dimensions."""
+        return sum(d.bandwidth_gbps for d in self.dims if d.size > 1)
+
+    def notation(self) -> str:
+        """Paper-style shape string, e.g. ``Ring(4)_FC(2)_Switch(8)``."""
+        short = {
+            BuildingBlock.RING: "Ring",
+            BuildingBlock.FULLY_CONNECTED: "FC",
+            BuildingBlock.SWITCH: "Switch",
+        }
+        return "_".join(f"{short[d.block]}({d.size})" for d in self.dims)
+
+    # -- coordinates ----------------------------------------------------------------
+
+    def coords(self, npu_id: int) -> Tuple[int, ...]:
+        """Mixed-radix coordinates of an NPU (dim 0 varies fastest)."""
+        self._check_id(npu_id)
+        out = []
+        rest = npu_id
+        for dim in self.dims:
+            out.append(rest % dim.size)
+            rest //= dim.size
+        return tuple(out)
+
+    def npu_id(self, coords: Sequence[int]) -> int:
+        """Inverse of :meth:`coords`."""
+        if len(coords) != self.num_dims:
+            raise TopologyError(
+                f"expected {self.num_dims} coordinates, got {len(coords)}"
+            )
+        npu = 0
+        for c, dim, stride in zip(coords, self.dims, self._strides):
+            if not (0 <= c < dim.size):
+                raise TopologyError(f"coordinate {c} out of range for {dim}")
+            npu += c * stride
+        return npu
+
+    def _check_id(self, npu_id: int) -> None:
+        if not (0 <= npu_id < self._num_npus):
+            raise TopologyError(
+                f"NPU id {npu_id} out of range for {self._num_npus}-NPU topology"
+            )
+
+    # -- groups and hops --------------------------------------------------------------
+
+    def dim_group(self, npu_id: int, dim: int) -> Tuple[int, ...]:
+        """All NPUs sharing every coordinate with ``npu_id`` except dim ``dim``."""
+        self._check_dim(dim)
+        base = list(self.coords(npu_id))
+        group = []
+        for i in range(self.dims[dim].size):
+            base[dim] = i
+            group.append(self.npu_id(base))
+        return tuple(group)
+
+    def group_across_dims(self, npu_id: int, dims: Iterable[int]) -> Tuple[int, ...]:
+        """All NPUs reachable from ``npu_id`` by varying the given dims.
+
+        This is the communicator of a collective spanning those dimensions
+        (e.g. an MP group spanning dims (0, 1)).
+        """
+        dim_list = sorted(set(dims))
+        for d in dim_list:
+            self._check_dim(d)
+        base = list(self.coords(npu_id))
+        members: List[int] = []
+
+        def expand(idx: int) -> None:
+            if idx == len(dim_list):
+                members.append(self.npu_id(base))
+                return
+            d = dim_list[idx]
+            original = base[d]
+            for v in range(self.dims[d].size):
+                base[d] = v
+                expand(idx + 1)
+            base[d] = original
+
+        expand(0)
+        return tuple(sorted(members))
+
+    def hops(self, src: int, dst: int) -> int:
+        """Total hop count between two NPUs (dimension-order routing)."""
+        self._check_id(src)
+        self._check_id(dst)
+        a, b = self.coords(src), self.coords(dst)
+        total = 0
+        for dim, (ca, cb) in zip(self.dims, zip(a, b)):
+            total += hops_between(dim.block, dim.size, ca, cb)
+        return total
+
+    def shared_dim(self, src: int, dst: int) -> int:
+        """The single dimension along which two NPUs differ.
+
+        Raises :class:`TopologyError` if they differ in zero or more than
+        one dimension; used to map point-to-point traffic to a port.
+        """
+        a, b = self.coords(src), self.coords(dst)
+        diffs = [i for i, (ca, cb) in enumerate(zip(a, b)) if ca != cb]
+        if len(diffs) != 1:
+            raise TopologyError(
+                f"NPUs {src} and {dst} differ in {len(diffs)} dimensions; "
+                "expected exactly one for single-dim routing"
+            )
+        return diffs[0]
+
+    def total_links(self) -> int:
+        """Total number of physical NPU-side links in the system."""
+        total = 0
+        for dim in self.dims:
+            groups = self._num_npus // dim.size
+            total += groups * dim.size * links_per_npu(dim.block, dim.size)
+        return total
+
+    def _check_dim(self, dim: int) -> None:
+        if not (0 <= dim < self.num_dims):
+            raise TopologyError(
+                f"dimension {dim} out of range for {self.num_dims}-D topology"
+            )
+
+    def __repr__(self) -> str:
+        bws = "_".join(f"{d.bandwidth_gbps:g}" for d in self.dims)
+        return f"MultiDimTopology({self.notation()}, bw={bws} GB/s)"
+
+
+_DIM_RE = re.compile(r"^\s*([A-Za-z]+)\s*\(\s*(\d+)\s*\)\s*$")
+
+
+def parse_topology(
+    notation: str,
+    bandwidths_gbps: Sequence[float],
+    latencies_ns: Sequence[float] = (),
+    name: str = "",
+) -> MultiDimTopology:
+    """Build a topology from paper-style notation.
+
+    Example::
+
+        parse_topology("Ring(16)_FC(8)_Switch(4)", [200, 100, 50])
+
+    ``latencies_ns`` defaults to 500 ns per dimension when omitted.
+    """
+    parts = [p for p in notation.split("_") if p.strip()]
+    if not parts:
+        raise TopologyError(f"empty topology notation {notation!r}")
+    if len(bandwidths_gbps) != len(parts):
+        raise TopologyError(
+            f"{len(parts)} dimensions in {notation!r} but "
+            f"{len(bandwidths_gbps)} bandwidths given"
+        )
+    if latencies_ns and len(latencies_ns) != len(parts):
+        raise TopologyError(
+            f"{len(parts)} dimensions in {notation!r} but "
+            f"{len(latencies_ns)} latencies given"
+        )
+    dims = []
+    for i, part in enumerate(parts):
+        match = _DIM_RE.match(part)
+        if not match:
+            raise TopologyError(f"malformed dimension {part!r} in {notation!r}")
+        block = block_from_name(match.group(1))
+        size = int(match.group(2))
+        latency = latencies_ns[i] if latencies_ns else 500.0
+        dims.append(
+            DimSpec(
+                block=block,
+                size=size,
+                bandwidth_gbps=float(bandwidths_gbps[i]),
+                latency_ns=latency,
+            )
+        )
+    return MultiDimTopology(dims, name=name)

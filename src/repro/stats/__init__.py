@@ -1,0 +1,41 @@
+"""Statistics: activity logging and exposed-time breakdowns.
+
+The paper's case studies report runtime broken into compute, exposed
+local-memory, exposed remote-memory, exposed communication, and idle time
+(Fig. 9, Fig. 11).  "Exposed" means not hidden behind a higher-priority
+activity: an All-Reduce running under a compute kernel costs nothing;
+the part sticking out past the compute is exposed.
+"""
+
+from repro.stats.breakdown import (
+    Activity,
+    ActivityLog,
+    Breakdown,
+    compute_breakdown,
+)
+from repro.stats.report import format_breakdown_table, format_table
+from repro.stats.chrometrace import dump_chrome_trace, to_chrome_trace
+from repro.stats.timeline import render_timeline, utilization_by_npu
+from repro.stats.export import (
+    collectives_to_csv,
+    dump_result_json,
+    load_result_json,
+    result_to_dict,
+)
+
+__all__ = [
+    "collectives_to_csv",
+    "dump_chrome_trace",
+    "dump_result_json",
+    "load_result_json",
+    "result_to_dict",
+    "Activity",
+    "ActivityLog",
+    "Breakdown",
+    "compute_breakdown",
+    "format_breakdown_table",
+    "format_table",
+    "render_timeline",
+    "to_chrome_trace",
+    "utilization_by_npu",
+]

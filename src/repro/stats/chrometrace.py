@@ -1,0 +1,72 @@
+"""Chrome-trace (Perfetto) export of simulation activity.
+
+Produces the Trace Event Format JSON that chrome://tracing, Perfetto, and
+speedscope all consume — one process per simulation, one thread lane per
+NPU, one complete event per logged interval (named after the ET node that
+produced it).  This is the practical way to inspect long runs: pipeline
+bubbles, exposed collectives, and prefetch depth are immediately visible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.stats.breakdown import Activity, ActivityLog
+
+# Stable category names let Perfetto color activities consistently.
+_CATEGORY = {
+    Activity.COMPUTE: "compute",
+    Activity.MEM_LOCAL: "memory.local",
+    Activity.MEM_REMOTE: "memory.remote",
+    Activity.COMM: "communication",
+}
+
+
+def to_chrome_trace(
+    log: ActivityLog,
+    process_name: str = "repro-simulation",
+    npus: Optional[List[int]] = None,
+) -> Dict[str, Any]:
+    """Convert an activity log to a Trace Event Format document.
+
+    Timestamps are microseconds (the format's unit); durations keep
+    nanosecond precision as fractional microseconds.
+    """
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "args": {"name": process_name},
+    }]
+    selected = npus if npus is not None else log.npus()
+    for npu in selected:
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": npu,
+            "args": {"name": f"NPU {npu}"},
+        })
+        for start, end, activity, label in log.labeled_intervals(npu):
+            events.append({
+                "name": label or activity.value,
+                "cat": _CATEGORY[activity],
+                "ph": "X",
+                "pid": 0,
+                "tid": npu,
+                "ts": start / 1e3,
+                "dur": (end - start) / 1e3,
+                "args": {"activity": activity.value},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(
+    log: ActivityLog,
+    path: Union[str, Path],
+    process_name: str = "repro-simulation",
+) -> None:
+    """Write a trace JSON file loadable by chrome://tracing / Perfetto."""
+    Path(path).write_text(json.dumps(to_chrome_trace(log, process_name)))

@@ -1,0 +1,78 @@
+"""Result export: serialize simulation outcomes to JSON or CSV.
+
+Lets the CLI and benchmark harness persist results in machine-readable
+form for downstream plotting / comparison, mirroring how ASTRA-sim dumps
+per-run reports.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Union
+
+from repro.stats.breakdown import Activity
+
+if TYPE_CHECKING:  # avoid a stats <-> core import cycle at runtime
+    from repro.core.results import RunResult
+
+
+def result_to_dict(result: "RunResult") -> Dict[str, Any]:
+    """Flatten a :class:`RunResult` into JSON-serializable primitives."""
+    def breakdown_dict(b):
+        return {
+            "total_ns": b.total_ns,
+            "idle_ns": b.idle_ns,
+            **{a.value + "_ns": b.exposed_ns.get(a, 0.0) for a in Activity},
+        }
+
+    return {
+        "total_time_ns": result.total_time_ns,
+        "nodes_executed": result.nodes_executed,
+        "events_processed": result.events_processed,
+        "breakdown": breakdown_dict(result.breakdown),
+        "per_npu_breakdown": {
+            str(npu): breakdown_dict(b)
+            for npu, b in result.per_npu_breakdown.items()
+        },
+        "collectives": [
+            {
+                "name": c.name,
+                "collective": c.collective,
+                "payload_bytes": c.payload_bytes,
+                "rep_npu": c.rep_npu,
+                "group_size": c.group_size,
+                "start_ns": c.start_ns,
+                "finish_ns": c.finish_ns,
+                "duration_ns": c.duration_ns,
+                "traffic_by_dim": {str(d): t for d, t in c.traffic_by_dim.items()},
+            }
+            for c in result.collectives
+        ],
+    }
+
+
+def dump_result_json(result: "RunResult", path: Union[str, Path],
+                     indent: int = 2) -> None:
+    """Write a result to a JSON file."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=indent))
+
+
+def collectives_to_csv(result: "RunResult") -> str:
+    """Per-collective records as CSV text (one row per collective)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["name", "collective", "payload_bytes", "group_size",
+                     "start_ns", "finish_ns", "duration_ns"])
+    for c in result.collectives:
+        writer.writerow([c.name, c.collective, c.payload_bytes, c.group_size,
+                         f"{c.start_ns:.3f}", f"{c.finish_ns:.3f}",
+                         f"{c.duration_ns:.3f}"])
+    return buffer.getvalue()
+
+
+def load_result_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read back a dumped result (as a plain dict)."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.stats.breakdown import Activity, Breakdown
+
+_BREAKDOWN_COLUMNS = [
+    ("compute", Activity.COMPUTE),
+    ("exp.local-mem", Activity.MEM_LOCAL),
+    ("exp.remote-mem", Activity.MEM_REMOTE),
+    ("exp.comm", Activity.COMM),
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_breakdown_table(named: Dict[str, Breakdown], unit_ms: bool = True) -> str:
+    """Render runtime breakdowns (the Fig. 9 / Fig. 11 presentation)."""
+    scale = 1e-6 if unit_ms else 1.0
+    unit = "ms" if unit_ms else "ns"
+    headers = ["system"] + [f"{c} ({unit})" for c, _ in _BREAKDOWN_COLUMNS] + [
+        f"idle ({unit})", f"total ({unit})"
+    ]
+    rows: List[List[str]] = []
+    for name, b in named.items():
+        row = [name]
+        for _, activity in _BREAKDOWN_COLUMNS:
+            row.append(f"{b.exposed_ns.get(activity, 0.0) * scale:.3f}")
+        row.append(f"{b.idle_ns * scale:.3f}")
+        row.append(f"{b.total_ns * scale:.3f}")
+        rows.append(row)
+    return format_table(headers, rows)

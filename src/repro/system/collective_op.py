@@ -1,0 +1,278 @@
+"""Chunked, scheduled collective operation.
+
+A :class:`CollectiveOperation` models one collective (one ET node issued by
+every member of a communicator) over the analytical backend:
+
+1. the payload is split into ``num_chunks`` equal chunks;
+2. with the Themis scheduler the whole collective executes in the **fluid
+   limit**: the balanced per-dimension loads occupy the representative's
+   ports directly, plus a pipeline-fill term;
+3. otherwise each chunk asks the :class:`ChunkScheduler` for a full
+   dimension order when it launches and commits to it — for All-Reduce the
+   order is the Reduce-Scatter pass, and the All-Gather pass replays it
+   reversed — with each phase reserving the representative's egress port.
+
+Communicators may span *parts* of dimensions (``group_shape``): an MP
+group of 16 NPUs inside a 512-wide wafer switch runs its phases with an
+effective dimension size of 16 at the dimension's bandwidth.
+
+Because members of a whole- or sub-dimension communicator are symmetric, a
+single representative's ports stand in for every member's: concurrent
+collectives contend exactly when they would contend on a real member (same
+dims of the same group) and pipeline freely otherwise.  This is the
+modeling choice that lets the simulator scale to thousands of NPUs (paper
+Sec. IV-C).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.events import EventEngine
+from repro.network.analytical import AnalyticalNetwork
+from repro.network.topology import DimSpec
+from repro.system.phases import (
+    PhaseKind,
+    phase_busy_ns,
+    phase_latency_ns,
+    phase_traffic_bytes,
+)
+from repro.system.scheduler import ChunkScheduler, chunk_work_vector
+from repro.trace.node import CollectiveType
+
+DEFAULT_NUM_CHUNKS = 16
+
+_SINGLE_PASS_KIND = {
+    CollectiveType.ALL_GATHER: PhaseKind.ALL_GATHER,
+    CollectiveType.REDUCE_SCATTER: PhaseKind.REDUCE_SCATTER,
+    CollectiveType.ALL_TO_ALL: PhaseKind.ALL_TO_ALL,
+}
+
+
+class _Chunk:
+    """One chunk walking its committed phase plan."""
+
+    __slots__ = ("payload", "plan", "position", "ag_shards")
+
+    def __init__(self, payload: float, plan: Tuple[Tuple[int, PhaseKind], ...]) -> None:
+        self.payload = payload
+        self.plan = plan
+        self.position = 0
+        self.ag_shards: List[float] = []
+
+
+class CollectiveOperation:
+    """One in-flight collective over a set of topology dimensions.
+
+    Args:
+        engine: Shared event engine.
+        network: Analytical backend whose ports the phases occupy.
+        scheduler: Chunk order-planning policy.
+        collective: Pattern (All-Reduce / All-Gather / RS / All-to-All).
+        comm_dims: Topology dimension indices the communicator spans.
+        rep_npu: Canonical representative NPU (lowest id in the group).
+        payload_bytes: Per-NPU payload (see
+            :func:`repro.system.phases.decompose_collective` for semantics).
+        num_chunks: Pipelining degree.
+        group_shape: Effective group size per dimension for sub-dimension
+            communicators; defaults to the physical dimension sizes.
+        on_complete: Fired once, when the last chunk finishes.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        network: AnalyticalNetwork,
+        scheduler: ChunkScheduler,
+        collective: CollectiveType,
+        comm_dims: Sequence[int],
+        rep_npu: int,
+        payload_bytes: float,
+        num_chunks: int = DEFAULT_NUM_CHUNKS,
+        group_shape: Optional[Mapping[int, int]] = None,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if num_chunks < 1:
+            raise ValueError(f"num_chunks must be >= 1, got {num_chunks}")
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload {payload_bytes}")
+        self.engine = engine
+        self.network = network
+        self.scheduler = scheduler
+        self.collective = collective
+        self.rep_npu = rep_npu
+        self.on_complete = on_complete
+        self.num_chunks = num_chunks
+        self.payload_bytes = payload_bytes
+        topo = network.topology
+        self.dim_specs: Dict[int, DimSpec] = {}
+        for d in sorted(set(comm_dims)):
+            physical = topo.dims[d]
+            size = group_shape.get(d, physical.size) if group_shape else physical.size
+            if size > physical.size:
+                raise ValueError(
+                    f"group size {size} exceeds dimension {d} size {physical.size}"
+                )
+            # A collective loads the dimension symmetrically (every member
+            # injects at once), so an oversubscribed fabric caps each
+            # member at bandwidth/oversubscription — folded into the
+            # effective spec so the phase math and the Themis balancer
+            # both see it and route load away from the constrained dim.
+            bandwidth = physical.bandwidth_gbps / physical.oversubscription
+            if size == physical.size and bandwidth == physical.bandwidth_gbps:
+                self.dim_specs[d] = physical
+            else:
+                self.dim_specs[d] = dataclasses.replace(
+                    physical, size=size, bandwidth_gbps=bandwidth,
+                    oversubscription=1.0,
+                )
+        self.active_dims: Tuple[int, ...] = tuple(
+            d for d, spec in self.dim_specs.items() if spec.size > 1
+        )
+        self.group_size = 1
+        for d in self.active_dims:
+            self.group_size *= self.dim_specs[d].size
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.traffic_by_dim: Dict[int, float] = {d: 0.0 for d in self.active_dims}
+        self._chunks_done = 0
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the collective at the current simulation time."""
+        if self._started:
+            raise RuntimeError("collective started twice")
+        self._started = True
+        self.start_time = self.engine.now
+        if not self.active_dims or self.payload_bytes == 0:
+            # Degenerate communicator: complete asynchronously with no cost.
+            self.engine.schedule(0.0, self._finish)
+            return
+        first_kind = (
+            PhaseKind.REDUCE_SCATTER
+            if self.collective is CollectiveType.ALL_REDUCE
+            else _SINGLE_PASS_KIND[self.collective]
+        )
+        roundtrip = self.collective is CollectiveType.ALL_REDUCE
+        chunk_payload = self._initial_chunk_payload()
+        balanced = getattr(self.scheduler, "balanced_plan", None)
+        if balanced is not None:
+            plan = balanced(
+                network=self.network,
+                dims=self.active_dims,
+                kind=first_kind,
+                payload_bytes=chunk_payload * self.num_chunks,
+                num_chunks=self.num_chunks,
+                roundtrip=roundtrip,
+                dim_specs=self.dim_specs,
+            )
+            if plan is not None:
+                self._start_fluid(plan)
+                return
+        launches: List[Tuple[float, int, _Chunk]] = []
+        for index in range(self.num_chunks):
+            order = self.scheduler.plan_order(
+                network=self.network,
+                rep_npu=self.rep_npu,
+                dims=self.active_dims,
+                kind=first_kind,
+                payload_bytes=chunk_payload,
+                pending_load={
+                    d: self.network.pending_load(self.rep_npu, d)
+                    for d in self.active_dims
+                },
+                roundtrip=roundtrip,
+                dim_specs=self.dim_specs,
+            )
+            work = chunk_work_vector(
+                self.dim_specs, order, first_kind, chunk_payload, roundtrip
+            )
+            for dim, amount in work.items():
+                self.network.add_pending(self.rep_npu, dim, amount)
+            plan = tuple((d, first_kind) for d in order)
+            if roundtrip:
+                plan += tuple((d, PhaseKind.ALL_GATHER) for d in reversed(order))
+            launches.append((sum(work.values()), index, _Chunk(chunk_payload, plan)))
+        # Launch heaviest plans first: their long phases queue early, so
+        # their precedence-constrained tails overlap the steady state
+        # instead of extending the makespan.
+        launches.sort(key=lambda item: (-item[0], item[1]))
+        for _, _, chunk in launches:
+            self._advance(chunk)
+
+    def _start_fluid(self, plan) -> None:
+        """Fluid-limit execution: occupy each dim port for its balanced load.
+
+        The collective completes when the last port finishes its share plus
+        the pipeline-fill ramp a chunked schedule pays.
+        """
+        finish_at = self.engine.now + plan.fill_ns
+        for dim, load in plan.loads_ns.items():
+            if load <= 0.0:
+                continue
+            _, end = self.network.reserve_port(self.rep_npu, dim, load)
+            finish_at = max(finish_at, end + plan.fill_ns)
+            self.traffic_by_dim[dim] += plan.traffic_bytes.get(dim, 0.0)
+        self._chunks_done = self.num_chunks
+        self.engine.schedule_at(finish_at, self._finish)
+
+    def _initial_chunk_payload(self) -> float:
+        per_chunk = self.payload_bytes / self.num_chunks
+        if self.collective is CollectiveType.ALL_GATHER:
+            # payload_bytes is the gathered result; chunks start as shards.
+            return per_chunk / self.group_size
+        return per_chunk
+
+    # -- chunk stepping ------------------------------------------------------------
+
+    def _advance(self, chunk: _Chunk) -> None:
+        """Run the chunk's next phase, or retire it."""
+        if chunk.position == len(chunk.plan):
+            self._chunk_done()
+            return
+        dim, kind = chunk.plan[chunk.position]
+        chunk.position += 1
+        spec = self.dim_specs[dim]
+        if kind is PhaseKind.ALL_GATHER and self.collective is CollectiveType.ALL_REDUCE:
+            # AG half of All-Reduce: the entry shard is the matching RS
+            # phase's exit payload, popped in reverse order.
+            entry = chunk.ag_shards.pop()
+            busy = phase_busy_ns(spec, kind, entry)
+            self.traffic_by_dim[dim] += phase_traffic_bytes(spec, kind, entry)
+            chunk.payload = entry * spec.size
+        else:
+            busy = phase_busy_ns(spec, kind, chunk.payload)
+            self.traffic_by_dim[dim] += phase_traffic_bytes(spec, kind, chunk.payload)
+            if kind is PhaseKind.REDUCE_SCATTER:
+                chunk.payload /= spec.size
+                if self.collective is CollectiveType.ALL_REDUCE:
+                    chunk.ag_shards.append(chunk.payload)
+            elif kind is PhaseKind.ALL_GATHER:
+                chunk.payload *= spec.size
+        # The port serializes the traffic; the propagation latency delays
+        # only this chunk (the next chunk's serialization overlaps it).
+        self.network.consume_pending(self.rep_npu, dim, busy)
+        _, end = self.network.reserve_port(self.rep_npu, dim, busy)
+        self.engine.schedule_at(end + phase_latency_ns(spec), self._advance, chunk)
+
+    def _chunk_done(self) -> None:
+        self._chunks_done += 1
+        if self._chunks_done == self.num_chunks:
+            self._finish()
+
+    def _finish(self) -> None:
+        self.finish_time = self.engine.now
+        if self.on_complete is not None:
+            self.on_complete()
+
+    # -- results ------------------------------------------------------------------
+
+    @property
+    def duration_ns(self) -> float:
+        """Wall time of the collective; only valid after completion."""
+        if self.start_time is None or self.finish_time is None:
+            raise RuntimeError("collective has not completed")
+        return self.finish_time - self.start_time

@@ -1,0 +1,38 @@
+"""ASTRA-sim execution traces (ETs).
+
+The graph-based execution engine (Sec. IV-A of the paper) consumes one
+execution trace per NPU.  A trace is a DAG whose nodes are compute, memory,
+or communication operations and whose edges are data/control dependencies.
+Parallelization strategies are encoded purely in the traces, which decouples
+them from the simulator frontend.
+
+Public surface:
+
+- :class:`ETNode`, :class:`NodeType`, :class:`CollectiveType`,
+  :class:`TensorLocation` — the node schema;
+- :class:`ExecutionTrace` — one NPU's DAG with validation and iteration;
+- :func:`load_trace` / :func:`save_trace` — JSON (de)serialization;
+- converters from foreign trace formats in :mod:`repro.trace.converters`.
+"""
+
+from repro.trace.node import (
+    CollectiveType,
+    ETNode,
+    NodeType,
+    TensorLocation,
+)
+from repro.trace.graph import ExecutionTrace, TraceValidationError
+from repro.trace.serialization import load_trace, loads_trace, save_trace, dumps_trace
+
+__all__ = [
+    "CollectiveType",
+    "ETNode",
+    "ExecutionTrace",
+    "NodeType",
+    "TensorLocation",
+    "TraceValidationError",
+    "dumps_trace",
+    "load_trace",
+    "loads_trace",
+    "save_trace",
+]

@@ -1,0 +1,151 @@
+"""Static analysis of execution traces.
+
+Answers the questions a user asks *before* simulating: how much compute,
+memory, and communication a trace carries, what its dependency structure
+looks like, and rough lower bounds on its runtime given hardware numbers
+— useful for sanity-checking generated or converted traces and for
+sizing simulations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.trace.graph import ExecutionTrace
+from repro.trace.node import NodeType
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate statistics of one execution trace."""
+
+    npu_id: int
+    num_nodes: int
+    nodes_by_type: Mapping[str, int]
+    total_flops: int
+    comm_bytes_by_collective: Mapping[str, int]
+    p2p_bytes: int
+    memory_bytes_local: int
+    memory_bytes_remote: int
+    critical_path_nodes: int
+    critical_path_flops: int
+    max_parallelism: int
+
+    @property
+    def total_comm_bytes(self) -> int:
+        return sum(self.comm_bytes_by_collective.values()) + self.p2p_bytes
+
+    @property
+    def flops_per_comm_byte(self) -> float:
+        """Arithmetic intensity of the trace's comm/compute balance."""
+        comm = self.total_comm_bytes
+        return self.total_flops / comm if comm else float("inf")
+
+    def format(self) -> str:
+        lines = [
+            f"trace for NPU {self.npu_id}: {self.num_nodes} nodes",
+            "  by type: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.nodes_by_type.items())),
+            f"  compute: {self.total_flops / 1e9:.2f} GFLOP "
+            f"(critical path {self.critical_path_nodes} nodes, "
+            f"{self.critical_path_flops / 1e9:.2f} GFLOP)",
+            f"  communication: {self.total_comm_bytes / 1e6:.2f} MB total"
+            + (f" ({self.flops_per_comm_byte:.1f} FLOP/byte)"
+               if self.total_comm_bytes else ""),
+        ]
+        for name, size in sorted(self.comm_bytes_by_collective.items()):
+            lines.append(f"    {name}: {size / 1e6:.2f} MB")
+        if self.p2p_bytes:
+            lines.append(f"    p2p: {self.p2p_bytes / 1e6:.2f} MB")
+        if self.memory_bytes_local or self.memory_bytes_remote:
+            lines.append(
+                f"  memory: local {self.memory_bytes_local / 1e6:.2f} MB, "
+                f"remote {self.memory_bytes_remote / 1e6:.2f} MB")
+        lines.append(f"  max node-level parallelism: {self.max_parallelism}")
+        return "\n".join(lines)
+
+
+def summarize(trace: ExecutionTrace) -> TraceSummary:
+    """Compute a :class:`TraceSummary` for one trace."""
+    nodes_by_type: Dict[str, int] = defaultdict(int)
+    comm_by_collective: Dict[str, int] = defaultdict(int)
+    p2p_bytes = 0
+    mem_local = 0
+    mem_remote = 0
+    total_flops = 0
+    for node in trace:
+        nodes_by_type[node.node_type.value] += 1
+        if node.is_compute:
+            total_flops += node.flops
+        elif node.is_collective:
+            comm_by_collective[node.collective.value] += node.tensor_bytes
+        elif node.node_type is NodeType.COMM_SEND:
+            p2p_bytes += node.tensor_bytes
+        elif node.is_memory:
+            if node.location.value == "remote":
+                mem_remote += node.tensor_bytes
+            else:
+                mem_local += node.tensor_bytes
+
+    # Critical path, in nodes and in FLOPs, via one topological sweep.
+    depth: Dict[int, int] = {}
+    flops_depth: Dict[int, int] = {}
+    level: Dict[int, int] = {}
+    width: Dict[int, int] = defaultdict(int)
+    for node in trace.topological_order():
+        depth[node.node_id] = 1 + max((depth[d] for d in node.deps), default=0)
+        flops_depth[node.node_id] = node.flops + max(
+            (flops_depth[d] for d in node.deps), default=0)
+        level[node.node_id] = depth[node.node_id]
+        width[level[node.node_id]] += 1
+
+    return TraceSummary(
+        npu_id=trace.npu_id,
+        num_nodes=len(trace),
+        nodes_by_type=dict(nodes_by_type),
+        total_flops=total_flops,
+        comm_bytes_by_collective=dict(comm_by_collective),
+        p2p_bytes=p2p_bytes,
+        memory_bytes_local=mem_local,
+        memory_bytes_remote=mem_remote,
+        critical_path_nodes=max(depth.values(), default=0),
+        critical_path_flops=max(flops_depth.values(), default=0),
+        max_parallelism=max(width.values(), default=0),
+    )
+
+
+def communication_matrix(
+    traces: Mapping[int, ExecutionTrace]
+) -> Dict[Tuple[int, int], int]:
+    """Point-to-point bytes between NPU pairs across a trace set.
+
+    Only explicit send nodes contribute (collectives are communicator-
+    wide and not pairwise attributable).
+    """
+    matrix: Dict[Tuple[int, int], int] = defaultdict(int)
+    for npu, trace in traces.items():
+        for node in trace:
+            if node.node_type is NodeType.COMM_SEND:
+                matrix[(npu, node.peer)] += node.tensor_bytes
+    return dict(matrix)
+
+
+def lower_bound_time_ns(
+    trace: ExecutionTrace,
+    peak_tflops: float,
+    injection_bw_gbps: float,
+) -> float:
+    """Optimistic runtime bound: perfect overlap of compute and comm.
+
+    ``max(critical-path FLOPs / peak, total comm bytes / bandwidth)`` —
+    no simulated run can beat it, which makes it a useful validation
+    anchor for the simulator itself.
+    """
+    if peak_tflops <= 0 or injection_bw_gbps <= 0:
+        raise ValueError("peak_tflops and injection_bw_gbps must be positive")
+    summary = summarize(trace)
+    compute_ns = summary.critical_path_flops / (peak_tflops * 1e3)
+    comm_ns = summary.total_comm_bytes / injection_bw_gbps
+    return max(compute_ns, comm_ns)

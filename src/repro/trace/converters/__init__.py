@@ -1,0 +1,21 @@
+"""Converters from foreign trace formats to ASTRA-sim ETs.
+
+The paper (Sec. IV-A) defines a single common ET format and ships
+converters from framework-native traces.  We support two source formats:
+
+- :mod:`repro.trace.converters.pytorch` — PyTorch
+  ``ExecutionGraphObserver``-style JSON (operator nodes with data-flow
+  recorded through tensor ids);
+- :mod:`repro.trace.converters.flexflow` — FlexFlow-style task graphs
+  (explicit task dependencies).
+"""
+
+from repro.trace.converters.pytorch import convert_pytorch_eg
+from repro.trace.converters.flexflow import convert_flexflow_taskgraph
+from repro.trace.converters.synthetic import synthesize_pytorch_eg
+
+__all__ = [
+    "convert_flexflow_taskgraph",
+    "convert_pytorch_eg",
+    "synthesize_pytorch_eg",
+]

@@ -1,0 +1,105 @@
+"""FlexFlow task graph → ASTRA-sim ET converter.
+
+FlexFlow exports a per-device task graph with explicit dependencies, which
+maps nearly one-to-one onto the ASTRA-sim ET schema::
+
+    {
+      "schema": "flexflow-taskgraph",
+      "device": 2,
+      "tasks": [
+        {"task_id": 0, "kind": "task", "name": "linear_fwd",
+         "deps": [], "flops": 1000000, "bytes": 4096},
+        {"task_id": 1, "kind": "allreduce", "deps": [0], "bytes": 8192},
+        {"task_id": 2, "kind": "send", "deps": [1], "bytes": 64, "peer": 3},
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.trace.graph import ExecutionTrace, TraceValidationError
+from repro.trace.node import CollectiveType, ETNode, NodeType, TensorLocation
+
+_COLLECTIVE_KINDS = {
+    "allreduce": CollectiveType.ALL_REDUCE,
+    "allgather": CollectiveType.ALL_GATHER,
+    "reducescatter": CollectiveType.REDUCE_SCATTER,
+    "alltoall": CollectiveType.ALL_TO_ALL,
+}
+
+
+def convert_flexflow_taskgraph(payload: Dict[str, Any]) -> ExecutionTrace:
+    """Convert one device's FlexFlow task graph into an ET."""
+    if payload.get("schema") != "flexflow-taskgraph":
+        raise TraceValidationError(
+            f"expected schema 'flexflow-taskgraph', got {payload.get('schema')!r}"
+        )
+    device = int(payload.get("device", 0))
+    tasks: Sequence[Dict[str, Any]] = payload.get("tasks", ())
+
+    nodes: List[ETNode] = []
+    for task in tasks:
+        kind = task.get("kind", "task")
+        deps = tuple(task.get("deps", ()))
+        tid = task["task_id"]
+        name = task.get("name", kind)
+        size = task.get("bytes", 0)
+        if kind in _COLLECTIVE_KINDS:
+            comm_dims = (
+                tuple(task["comm_dims"]) if "comm_dims" in task else None
+            )
+            nodes.append(
+                ETNode(
+                    node_id=tid,
+                    node_type=NodeType.COMM_COLLECTIVE,
+                    name=name,
+                    deps=deps,
+                    tensor_bytes=size,
+                    collective=_COLLECTIVE_KINDS[kind],
+                    comm_dims=comm_dims,
+                )
+            )
+        elif kind in ("send", "recv"):
+            nodes.append(
+                ETNode(
+                    node_id=tid,
+                    node_type=(
+                        NodeType.COMM_SEND if kind == "send" else NodeType.COMM_RECV
+                    ),
+                    name=name,
+                    deps=deps,
+                    tensor_bytes=size,
+                    peer=task["peer"],
+                    tag=task.get("tag", 0),
+                )
+            )
+        elif kind in ("load", "store"):
+            nodes.append(
+                ETNode(
+                    node_id=tid,
+                    node_type=(
+                        NodeType.MEMORY_LOAD if kind == "load" else NodeType.MEMORY_STORE
+                    ),
+                    name=name,
+                    deps=deps,
+                    tensor_bytes=size,
+                    location=TensorLocation(task.get("location", "local")),
+                )
+            )
+        elif kind == "task":
+            nodes.append(
+                ETNode(
+                    node_id=tid,
+                    node_type=NodeType.COMPUTE,
+                    name=name,
+                    deps=deps,
+                    tensor_bytes=size,
+                    flops=task.get("flops", 0),
+                )
+            )
+        else:
+            raise TraceValidationError(f"unknown FlexFlow task kind {kind!r}")
+
+    return ExecutionTrace(npu_id=device, nodes=nodes)

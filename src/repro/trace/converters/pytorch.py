@@ -1,0 +1,192 @@
+"""PyTorch ExecutionGraphObserver → ASTRA-sim ET converter.
+
+The PyTorch profiler's ExecutionGraphObserver records one JSON document per
+rank with operator nodes; data flow is expressed through tensor ids in each
+node's ``inputs``/``outputs`` lists.  This converter consumes that shape::
+
+    {
+      "schema": "pytorch-eg",
+      "rank": 3,
+      "nodes": [
+        {"id": 1, "name": "aten::mm", "inputs": [100, 101],
+         "outputs": [102], "flops": 8388608, "tensor_bytes": 4096},
+        {"id": 2, "name": "nccl:all_reduce", "inputs": [102],
+         "outputs": [103], "tensor_bytes": 4096, "comm_dims": [0]},
+        ...
+      ]
+    }
+
+Conversion rules (mirrors the real astra-sim chakra converter):
+
+- node kind is inferred from the operator name — ``nccl:``/``c10d::``
+  prefixes map to communication, ``aten::copy_``/``Memcpy``/``aten::to``
+  map to memory, everything else with flops/bytes maps to compute;
+- dependencies are recovered from data flow: a node depends on the most
+  recent producer of each of its input tensors;
+- control-only nodes (no flops, no payload, no comm) are elided, with
+  their dependencies spliced through to the consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.graph import ExecutionTrace, TraceValidationError
+from repro.trace.node import CollectiveType, ETNode, NodeType, TensorLocation
+
+_COMM_PREFIXES = ("nccl:", "c10d::", "oneccl:")
+_MEMORY_NAMES = ("aten::copy_", "aten::to", "Memcpy", "memcpy", "aten::load")
+
+_COLLECTIVE_BY_SUFFIX = {
+    "all_reduce": CollectiveType.ALL_REDUCE,
+    "allreduce": CollectiveType.ALL_REDUCE,
+    "all_gather": CollectiveType.ALL_GATHER,
+    "allgather": CollectiveType.ALL_GATHER,
+    "reduce_scatter": CollectiveType.REDUCE_SCATTER,
+    "reducescatter": CollectiveType.REDUCE_SCATTER,
+    "all_to_all": CollectiveType.ALL_TO_ALL,
+    "alltoall": CollectiveType.ALL_TO_ALL,
+}
+
+
+def _classify(name: str) -> str:
+    lowered = name.lower()
+    if any(lowered.startswith(p) for p in _COMM_PREFIXES):
+        return "comm"
+    if any(m.lower() in lowered for m in _MEMORY_NAMES):
+        return "memory"
+    return "compute"
+
+
+def _collective_for(name: str) -> CollectiveType:
+    lowered = name.lower()
+    for suffix, ctype in _COLLECTIVE_BY_SUFFIX.items():
+        if lowered.endswith(suffix):
+            return ctype
+    raise TraceValidationError(f"unrecognized collective operator {name!r}")
+
+
+def convert_pytorch_eg(payload: Dict[str, Any]) -> ExecutionTrace:
+    """Convert one rank's PyTorch execution-graph JSON into an ET.
+
+    Raises :class:`TraceValidationError` on schema problems.
+    """
+    if payload.get("schema") != "pytorch-eg":
+        raise TraceValidationError(
+            f"expected schema 'pytorch-eg', got {payload.get('schema')!r}"
+        )
+    raw_nodes: Sequence[Dict[str, Any]] = payload.get("nodes", ())
+    rank = int(payload.get("rank", 0))
+
+    # Pass 1: map each tensor id to its (last) producer node id.
+    producer: Dict[int, int] = {}
+    for raw in raw_nodes:
+        for tensor_id in raw.get("outputs", ()):
+            producer[tensor_id] = raw["id"]
+
+    # Pass 2: compute raw data-flow deps.
+    raw_deps: Dict[int, List[int]] = {}
+    for raw in raw_nodes:
+        deps = []
+        for tensor_id in raw.get("inputs", ()):
+            src = producer.get(tensor_id)
+            if src is not None and src != raw["id"]:
+                deps.append(src)
+        for ctrl in raw.get("ctrl_deps", ()):
+            deps.append(ctrl)
+        raw_deps[raw["id"]] = sorted(set(deps))
+
+    # Pass 3: identify control-only nodes to elide.
+    def is_control_only(raw: Dict[str, Any]) -> bool:
+        return (
+            _classify(raw.get("name", "")) == "compute"
+            and not raw.get("flops")
+            and not raw.get("tensor_bytes")
+        )
+
+    elided = {raw["id"] for raw in raw_nodes if is_control_only(raw)}
+
+    def resolve(dep: int, seen: Optional[frozenset] = None) -> Tuple[int, ...]:
+        """Splice dependencies through elided nodes (transitively)."""
+        if dep not in elided:
+            return (dep,)
+        seen = seen or frozenset()
+        if dep in seen:
+            return ()
+        out: List[int] = []
+        for parent in raw_deps.get(dep, ()):
+            out.extend(resolve(parent, seen | {dep}))
+        return tuple(out)
+
+    nodes: List[ETNode] = []
+    for raw in raw_nodes:
+        if raw["id"] in elided:
+            continue
+        name = raw.get("name", "")
+        kind = _classify(name)
+        deps: List[int] = []
+        for dep in raw_deps[raw["id"]]:
+            deps.extend(resolve(dep))
+        deps = sorted(set(deps))
+
+        if kind == "comm":
+            comm_dims = tuple(raw["comm_dims"]) if "comm_dims" in raw else None
+            if "peer" in raw:
+                node_type = (
+                    NodeType.COMM_SEND
+                    if "send" in name.lower()
+                    else NodeType.COMM_RECV
+                )
+                nodes.append(
+                    ETNode(
+                        node_id=raw["id"],
+                        node_type=node_type,
+                        name=name,
+                        deps=tuple(deps),
+                        tensor_bytes=raw.get("tensor_bytes", 0),
+                        peer=raw["peer"],
+                        tag=raw.get("tag", 0),
+                    )
+                )
+            else:
+                nodes.append(
+                    ETNode(
+                        node_id=raw["id"],
+                        node_type=NodeType.COMM_COLLECTIVE,
+                        name=name,
+                        deps=tuple(deps),
+                        tensor_bytes=raw.get("tensor_bytes", 0),
+                        collective=_collective_for(name),
+                        comm_dims=comm_dims,
+                    )
+                )
+        elif kind == "memory":
+            location = TensorLocation(raw.get("location", "local"))
+            node_type = (
+                NodeType.MEMORY_STORE
+                if raw.get("direction") == "store"
+                else NodeType.MEMORY_LOAD
+            )
+            nodes.append(
+                ETNode(
+                    node_id=raw["id"],
+                    node_type=node_type,
+                    name=name,
+                    deps=tuple(deps),
+                    tensor_bytes=raw.get("tensor_bytes", 0),
+                    location=location,
+                )
+            )
+        else:
+            nodes.append(
+                ETNode(
+                    node_id=raw["id"],
+                    node_type=NodeType.COMPUTE,
+                    name=name,
+                    deps=tuple(deps),
+                    tensor_bytes=raw.get("tensor_bytes", 0),
+                    flops=raw.get("flops", 0),
+                )
+            )
+
+    return ExecutionTrace(npu_id=rank, nodes=nodes)

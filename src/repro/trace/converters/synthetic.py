@@ -1,0 +1,109 @@
+"""Synthetic PyTorch execution-graph generation.
+
+Produces the JSON an ``ExecutionGraphObserver`` (paper Snippet 1) would
+record for one rank of a Megatron-style hybrid-parallel transformer run.
+This closes the collect -> convert -> simulate loop without PyTorch: the
+output feeds :func:`repro.trace.converters.convert_pytorch_eg`, and the
+converted trace is behaviourally equivalent to what
+:func:`repro.workload.generate_megatron_hybrid` builds directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.workload.models import TransformerSpec
+
+
+def synthesize_pytorch_eg(
+    model: TransformerSpec,
+    rank: int = 0,
+    mp_dims: Sequence[int] = (0,),
+    dp_dims: Sequence[int] = (1,),
+    mp_degree: int = 1,
+) -> Dict[str, Any]:
+    """Emit one rank's PyTorch-EG JSON for a hybrid MP x DP iteration.
+
+    Data flow is recorded through tensor ids exactly as the observer
+    does; operator names use real PyTorch/NCCL spellings so the
+    converter's classification heuristics are exercised.  Autograd
+    control nodes are included (and will be elided by the converter).
+    """
+    if mp_degree < 1:
+        raise ValueError(f"mp_degree must be >= 1, got {mp_degree}")
+    nodes: List[Dict[str, Any]] = []
+    next_node = [1]
+    next_tensor = [100]
+
+    def node_id() -> int:
+        next_node[0] += 1
+        return next_node[0] - 1
+
+    def tensor_id() -> int:
+        next_tensor[0] += 1
+        return next_tensor[0] - 1
+
+    act = model.activation_bytes()
+    half_fwd = model.fwd_flops_per_layer() // (2 * mp_degree)
+    half_bwd = model.bwd_flops_per_layer() // (2 * mp_degree)
+    grad_bytes = model.layer_grad_bytes() // mp_degree
+
+    current = tensor_id()
+    nodes.append({
+        "id": node_id(), "name": "aten::embedding", "inputs": [],
+        "outputs": [current], "flops": 1, "tensor_bytes": act,
+    })
+
+    # Forward.
+    layer_outputs: List[int] = []
+    for layer in range(model.num_layers):
+        for half in ("attn", "mlp"):
+            out = tensor_id()
+            nodes.append({
+                "id": node_id(), "name": "aten::mm", "inputs": [current],
+                "outputs": [out], "flops": half_fwd, "tensor_bytes": act,
+            })
+            current = out
+            if mp_degree > 1:
+                reduced = tensor_id()
+                nodes.append({
+                    "id": node_id(), "name": "nccl:all_reduce",
+                    "inputs": [current], "outputs": [reduced],
+                    "tensor_bytes": act, "comm_dims": list(mp_dims),
+                })
+                current = reduced
+        layer_outputs.append(current)
+
+    # A control-only autograd node between fwd and bwd (converter elides).
+    bridge = tensor_id()
+    nodes.append({
+        "id": node_id(), "name": "autograd::engine", "inputs": [current],
+        "outputs": [bridge],
+    })
+    current = bridge
+
+    # Backward with per-layer gradient all-reduces on the DP dims.
+    for layer in reversed(range(model.num_layers)):
+        for half in ("mlp", "attn"):
+            out = tensor_id()
+            nodes.append({
+                "id": node_id(), "name": "aten::mm", "inputs": [current],
+                "outputs": [out], "flops": half_bwd, "tensor_bytes": act,
+            })
+            current = out
+            if mp_degree > 1:
+                reduced = tensor_id()
+                nodes.append({
+                    "id": node_id(), "name": "nccl:all_reduce",
+                    "inputs": [current], "outputs": [reduced],
+                    "tensor_bytes": act, "comm_dims": list(mp_dims),
+                })
+                current = reduced
+        grad_out = tensor_id()
+        nodes.append({
+            "id": node_id(), "name": "nccl:all_reduce",
+            "inputs": [current], "outputs": [grad_out],
+            "tensor_bytes": grad_bytes, "comm_dims": list(dp_dims),
+        })
+
+    return {"schema": "pytorch-eg", "rank": rank, "nodes": nodes}

@@ -1,0 +1,122 @@
+"""JSON (de)serialization for ASTRA-sim ETs.
+
+The on-disk format is deliberately simple and versioned::
+
+    {
+      "format": "astra-sim-et",
+      "version": 1,
+      "npu_id": 0,
+      "nodes": [
+        {"id": 0, "type": "compute", "name": "fwd.mlp0",
+         "deps": [], "tensor_bytes": 1048576, "flops": 2000000},
+        {"id": 1, "type": "comm_collective", "collective": "all_reduce",
+         "deps": [0], "tensor_bytes": 4194304, "comm_dims": [0, 1]},
+        ...
+      ]
+    }
+
+Only keys with non-default values are emitted, keeping large traces small.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.trace.graph import ExecutionTrace, TraceValidationError
+from repro.trace.node import CollectiveType, ETNode, NodeType, TensorLocation
+
+FORMAT_NAME = "astra-sim-et"
+FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: ETNode) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"id": node.node_id, "type": node.node_type.value}
+    if node.name:
+        out["name"] = node.name
+    if node.deps:
+        out["deps"] = list(node.deps)
+    if node.tensor_bytes:
+        out["tensor_bytes"] = node.tensor_bytes
+    if node.flops:
+        out["flops"] = node.flops
+    if node.collective is not None:
+        out["collective"] = node.collective.value
+    if node.comm_dims is not None:
+        out["comm_dims"] = list(node.comm_dims)
+    if node.peer is not None:
+        out["peer"] = node.peer
+    if node.tag:
+        out["tag"] = node.tag
+    if node.location is not TensorLocation.LOCAL:
+        out["location"] = node.location.value
+    if node.involved_npus is not None:
+        out["involved_npus"] = list(node.involved_npus)
+    if node.attrs:
+        out["attrs"] = node.attrs
+    return out
+
+
+def _node_from_dict(data: Dict[str, Any]) -> ETNode:
+    try:
+        node_type = NodeType(data["type"])
+    except (KeyError, ValueError) as exc:
+        raise TraceValidationError(f"bad node type in {data!r}") from exc
+    collective = (
+        CollectiveType(data["collective"]) if "collective" in data else None
+    )
+    location = TensorLocation(data.get("location", "local"))
+    comm_dims = tuple(data["comm_dims"]) if "comm_dims" in data else None
+    involved = tuple(data["involved_npus"]) if "involved_npus" in data else None
+    return ETNode(
+        node_id=data["id"],
+        node_type=node_type,
+        name=data.get("name", ""),
+        deps=tuple(data.get("deps", ())),
+        tensor_bytes=data.get("tensor_bytes", 0),
+        flops=data.get("flops", 0),
+        collective=collective,
+        comm_dims=comm_dims,
+        peer=data.get("peer"),
+        tag=data.get("tag", 0),
+        location=location,
+        involved_npus=involved,
+        attrs=data.get("attrs", {}),
+    )
+
+
+def dumps_trace(trace: ExecutionTrace, indent: int = 0) -> str:
+    """Serialize a trace to a JSON string."""
+    payload = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "npu_id": trace.npu_id,
+        "nodes": [_node_to_dict(n) for n in trace.nodes],
+    }
+    return json.dumps(payload, indent=indent or None)
+
+
+def loads_trace(text: str) -> ExecutionTrace:
+    """Parse a trace from a JSON string (validates format + graph)."""
+    payload = json.loads(text)
+    if payload.get("format") != FORMAT_NAME:
+        raise TraceValidationError(
+            f"not an ASTRA-sim ET (format={payload.get('format')!r})"
+        )
+    if payload.get("version") != FORMAT_VERSION:
+        raise TraceValidationError(
+            f"unsupported ET version {payload.get('version')!r}"
+        )
+    nodes = [_node_from_dict(d) for d in payload.get("nodes", ())]
+    return ExecutionTrace(npu_id=payload.get("npu_id", 0), nodes=nodes)
+
+
+def save_trace(trace: ExecutionTrace, path: Union[str, Path]) -> None:
+    """Write a trace to a JSON file."""
+    Path(path).write_text(dumps_trace(trace))
+
+
+def load_trace(path: Union[str, Path]) -> ExecutionTrace:
+    """Read a trace from a JSON file."""
+    return loads_trace(Path(path).read_text())

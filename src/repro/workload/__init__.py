@@ -1,0 +1,55 @@
+"""Workload layer: DNN models, parallelization strategies, ET generation.
+
+The workload layer describes target models and parallelization strategies
+and lowers them to per-NPU execution traces (paper Fig. 1b).  Canned model
+specs reproduce the paper's Table III workloads (DLRM, GPT-3,
+Transformer-1T) and the Sec. V-B MoE-1T model.
+
+Because collectives over whole topology dimensions are symmetric across
+group members, generators emit traces only for *representative* NPUs (one
+per distinct behaviour — e.g. one per pipeline stage); the simulator times
+collectives from group sizes, so a representative trace prices the whole
+system.  This mirrors how the analytical ASTRA-sim backend scales to
+thousands of NPUs.
+"""
+
+from repro.workload.models import (
+    DLRMSpec,
+    MoESpec,
+    TransformerSpec,
+    dlrm_paper,
+    gpt3_175b,
+    moe_1t,
+    transformer_1t,
+)
+from repro.workload.lint import lint_traces
+from repro.workload.parallelism import ParallelismSpec, assign_dims
+from repro.workload.generators import (
+    generate_data_parallel,
+    generate_dlrm,
+    generate_fsdp,
+    generate_megatron_hybrid,
+    generate_moe,
+    generate_pipeline_parallel,
+    generate_single_collective,
+)
+
+__all__ = [
+    "DLRMSpec",
+    "MoESpec",
+    "ParallelismSpec",
+    "TransformerSpec",
+    "assign_dims",
+    "dlrm_paper",
+    "generate_data_parallel",
+    "generate_dlrm",
+    "generate_fsdp",
+    "generate_megatron_hybrid",
+    "generate_moe",
+    "generate_pipeline_parallel",
+    "generate_single_collective",
+    "gpt3_175b",
+    "lint_traces",
+    "moe_1t",
+    "transformer_1t",
+]

@@ -1,0 +1,104 @@
+"""Parallelization strategies and their mapping onto topology dimensions.
+
+A :class:`ParallelismSpec` states the degrees (MP x DP x PP x EP);
+:func:`assign_dims` maps each degree onto a *contiguous run of topology
+dimensions*, innermost first — MP on the fastest dims, then PP, then DP —
+matching how real systems place communicators (tensor parallelism on
+NVLink, data parallelism over the NIC; paper Sec. V-A: "MP and DP span
+over some (and not every) dimensions and utilize only those BW").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.network.topology import MultiDimTopology
+
+
+@dataclass(frozen=True)
+class ParallelismSpec:
+    """Degrees of each parallelism axis.
+
+    The product of all degrees must equal the system's NPU count when
+    mapped with :func:`assign_dims`.
+    """
+
+    mp: int = 1
+    dp: int = 1
+    pp: int = 1
+    ep: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("mp", "dp", "pp", "ep"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} degree must be >= 1, got {getattr(self, name)}")
+
+    @property
+    def total(self) -> int:
+        return self.mp * self.dp * self.pp * self.ep
+
+
+class DimAssignmentError(ValueError):
+    """Raised when degrees cannot be aligned to topology dimensions."""
+
+
+def assign_dims(
+    topology: MultiDimTopology, spec: ParallelismSpec
+) -> Dict[str, Tuple[int, ...]]:
+    """Map parallelism axes to contiguous dimension runs, innermost first.
+
+    Order of placement: MP (innermost), then EP, then PP, then DP
+    (outermost).  Each axis's degree must equal the product of the
+    dimension sizes it is assigned; degrees of 1 get no dimensions.
+
+    Returns a dict ``{"mp": dims, "ep": dims, "pp": dims, "dp": dims}``.
+
+    Raises :class:`DimAssignmentError` when a degree does not align with
+    dimension boundaries (e.g. MP=4 on a topology whose first dim is 8).
+    """
+    if spec.total != topology.num_npus:
+        raise DimAssignmentError(
+            f"parallelism degrees multiply to {spec.total} but topology has "
+            f"{topology.num_npus} NPUs"
+        )
+    sizes = topology.shape
+    assignment: Dict[str, Tuple[int, ...]] = {}
+    next_dim = 0
+    for axis, degree in (("mp", spec.mp), ("ep", spec.ep),
+                         ("pp", spec.pp), ("dp", spec.dp)):
+        if degree == 1:
+            assignment[axis] = ()
+            continue
+        dims: List[int] = []
+        product = 1
+        while product < degree:
+            if next_dim >= len(sizes):
+                raise DimAssignmentError(
+                    f"ran out of dimensions assigning {axis}={degree} on "
+                    f"shape {sizes}"
+                )
+            dims.append(next_dim)
+            product *= sizes[next_dim]
+            next_dim += 1
+        if product != degree:
+            raise DimAssignmentError(
+                f"{axis}={degree} does not align with dimension boundaries of "
+                f"shape {sizes} (got product {product}); choose degrees that "
+                "are products of consecutive dimension sizes"
+            )
+        assignment[axis] = tuple(dims)
+    return assignment
+
+
+def fit_hybrid(topology: MultiDimTopology, mp: int) -> ParallelismSpec:
+    """Convenience: hybrid MP x DP filling the whole system.
+
+    DP takes whatever NPUs remain after MP; raises if MP does not divide
+    the system size.
+    """
+    if topology.num_npus % mp != 0:
+        raise DimAssignmentError(
+            f"MP={mp} does not divide system size {topology.num_npus}"
+        )
+    return ParallelismSpec(mp=mp, dp=topology.num_npus // mp)

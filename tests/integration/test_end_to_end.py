@@ -1,0 +1,106 @@
+"""Integration tests: full-stack simulations reproducing paper-level trends.
+
+These are fast (seconds) shape checks; the exact figure/table regenerators
+live in ``benchmarks/``.
+"""
+
+import pytest
+
+import repro
+from repro.configs import CONV_4D, W_1D_600, conv_4d_scaled, wafer_scaled
+from repro.workload import (
+    ParallelismSpec,
+    generate_megatron_hybrid,
+    generate_single_collective,
+    gpt3_175b,
+)
+
+GiB = 1 << 30
+
+
+def _allreduce_time(topology, scheduler, chunks=32, payload=GiB):
+    traces = generate_single_collective(
+        topology, repro.CollectiveType.ALL_REDUCE, payload)
+    config = repro.SystemConfig(topology=topology, scheduler=scheduler,
+                                collective_chunks=chunks)
+    return repro.simulate(traces, config).total_time_ns
+
+
+class TestSchedulingTrends:
+    """Fig. 9(a) directional checks."""
+
+    def test_themis_improves_multidim_allreduce(self):
+        base = _allreduce_time(CONV_4D, "baseline")
+        themis = _allreduce_time(CONV_4D, "themis")
+        assert themis < base * 0.95
+
+    def test_themis_no_gain_on_1d_wafer(self):
+        base = _allreduce_time(W_1D_600, "baseline")
+        themis = _allreduce_time(W_1D_600, "themis")
+        assert themis == pytest.approx(base, rel=1e-3)
+
+    def test_conv4d_themis_matches_equal_bw_wafer(self):
+        """Conv-4D totals 600 GB/s/NPU; with Themis it should approach
+        W-1D-600 (paper: 'identical results ... with equivalent BW/NPU')."""
+        wafer = _allreduce_time(W_1D_600, "baseline")
+        conv = _allreduce_time(CONV_4D, "themis")
+        assert conv == pytest.approx(wafer, rel=0.25)
+
+
+class TestScalingTrends:
+    """Table IV / Fig. 9(b) directional checks."""
+
+    def test_scale_out_collective_time_flat(self):
+        times = [_allreduce_time(conv_4d_scaled(last_dim=k), "baseline")
+                 for k in (4, 8, 16, 32)]
+        for t in times[1:]:
+            assert t == pytest.approx(times[0], rel=0.02)
+
+    def test_wafer_scale_up_reduces_then_bounces(self):
+        times = {k: _allreduce_time(wafer_scaled(k), "baseline")
+                 for k in (2, 4, 8, 16)}
+        assert times[4] < times[2]
+        assert times[8] < times[4]
+        assert times[16] > times[8]  # on-wafer dim becomes the bottleneck
+
+    def test_wafer_speedup_roughly_2_5x(self):
+        """Paper: up to 2.51x speedup of scale-up over scale-out."""
+        scale_out = _allreduce_time(conv_4d_scaled(last_dim=4), "baseline")
+        best_wafer = min(_allreduce_time(wafer_scaled(k), "baseline")
+                         for k in (2, 4, 8, 16))
+        speedup = scale_out / best_wafer
+        assert 2.0 < speedup < 3.2
+
+
+class TestEndToEndWorkloads:
+    def test_gpt3_hybrid_runs_on_conv4d(self):
+        traces = generate_megatron_hybrid(
+            gpt3_175b(), CONV_4D, ParallelismSpec(mp=16, dp=32))
+        result = repro.simulate(
+            traces, repro.SystemConfig(topology=CONV_4D, scheduler="themis"))
+        assert result.total_time_ns > 0
+        b = result.breakdown
+        covered = sum(b.exposed_ns.values()) + b.idle_ns
+        assert covered == pytest.approx(result.total_time_ns, rel=1e-6)
+
+    def test_faster_network_reduces_exposed_comm(self):
+        traces = generate_megatron_hybrid(
+            gpt3_175b(), CONV_4D, ParallelismSpec(mp=16, dp=32))
+        slow = repro.simulate(
+            traces, repro.SystemConfig(topology=CONV_4D)).breakdown
+        fast_topo = repro.parse_topology(
+            "Ring(2)_FC(8)_Ring(8)_Switch(4)", [2500, 2000, 1000, 500])
+        traces_fast = generate_megatron_hybrid(
+            gpt3_175b(), fast_topo, ParallelismSpec(mp=16, dp=32))
+        fast = repro.simulate(
+            traces_fast, repro.SystemConfig(topology=fast_topo)).breakdown
+        assert fast.exposed_comm_ns < slow.exposed_comm_ns
+        assert fast.compute_ns == pytest.approx(slow.compute_ns, rel=1e-6)
+
+    def test_collective_records_cover_all_collectives(self):
+        traces = generate_megatron_hybrid(
+            gpt3_175b(), CONV_4D, ParallelismSpec(mp=16, dp=32))
+        n_coll = sum(1 for n in traces[0] if n.is_collective)
+        result = repro.simulate(
+            traces, repro.SystemConfig(topology=CONV_4D))
+        assert len(result.collectives) == n_coll

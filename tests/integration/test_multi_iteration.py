@@ -1,0 +1,67 @@
+"""Integration tests: multi-iteration training runs.
+
+Iteration chaining must be linear — iteration N+1 starts where N's
+optimizer finished, so total time scales with iteration count (modulo the
+first iteration's pipeline fill).
+"""
+
+import pytest
+
+import repro
+from repro.configs import CONV_4D
+from repro.workload import (
+    ParallelismSpec,
+    generate_data_parallel,
+    generate_fsdp,
+    generate_megatron_hybrid,
+    gpt3_175b,
+)
+from repro.workload.models import TransformerSpec
+
+
+def _model():
+    return TransformerSpec("small", num_layers=8, hidden=512, seq_len=128,
+                           batch_per_replica=2)
+
+
+def _time(generator, iterations, **kwargs):
+    traces = generator(_model(), CONV_4D, iterations=iterations, **kwargs)
+    config = repro.SystemConfig(topology=CONV_4D, scheduler="themis",
+                                collective_chunks=8)
+    return repro.simulate(traces, config).total_time_ns
+
+
+class TestIterationLinearity:
+    @pytest.mark.parametrize("generator,kwargs", [
+        (generate_data_parallel, {}),
+        (generate_fsdp, {}),
+    ])
+    def test_three_iterations_cost_three_times_one(self, generator, kwargs):
+        one = _time(generator, 1, **kwargs)
+        three = _time(generator, 3, **kwargs)
+        assert three == pytest.approx(3 * one, rel=0.05)
+
+    def test_hybrid_iterations_linear(self):
+        def gen(model, topo, iterations):
+            return generate_megatron_hybrid(
+                model, topo, ParallelismSpec(mp=16, dp=32),
+                iterations=iterations)
+
+        one = _time(gen, 1)
+        four = _time(gen, 4)
+        assert four == pytest.approx(4 * one, rel=0.05)
+
+    def test_iterations_do_not_leak_state_across_runs(self):
+        """Two runs of the same workload give bit-identical results —
+        determinism of the whole stack."""
+        def run():
+            traces = generate_megatron_hybrid(
+                gpt3_175b(), CONV_4D, ParallelismSpec(mp=16, dp=32))
+            config = repro.SystemConfig(topology=CONV_4D, scheduler="themis")
+            return repro.simulate(traces, config)
+
+        a, b = run(), run()
+        assert a.total_time_ns == b.total_time_ns
+        assert a.events_processed == b.events_processed
+        assert [c.duration_ns for c in a.collectives] == \
+            [c.duration_ns for c in b.collectives]

@@ -1,0 +1,119 @@
+"""Validation of the representative-NPU modeling assumption.
+
+The simulator times collectives from a canonical representative's ports
+and lets symmetric group members skip simulation entirely (paper
+Sec. IV-C scaling argument).  These tests check the assumption against
+ground truth: simulating *every* member with its own trace must produce
+the same collective times and totals as simulating one representative.
+"""
+
+import pytest
+
+import repro
+from repro.network import parse_topology
+from repro.system import RooflineCompute
+from repro.memory import LocalMemory
+from repro.trace import CollectiveType, ETNode, ExecutionTrace, NodeType
+from repro.workload import generate_single_collective
+from repro.workload.generators import TraceBuilder
+
+MiB = 1 << 20
+
+
+def _config(topology, scheduler="baseline"):
+    return repro.SystemConfig(
+        topology=topology,
+        scheduler=scheduler,
+        collective_chunks=8,
+        compute=RooflineCompute(peak_tflops=100.0),
+        local_memory=LocalMemory(bandwidth_gbps=1000.0),
+    )
+
+
+def _clone_trace_for(npu_id, trace):
+    return ExecutionTrace(npu_id, [
+        ETNode(
+            node_id=n.node_id, node_type=n.node_type, name=n.name,
+            deps=n.deps, tensor_bytes=n.tensor_bytes, flops=n.flops,
+            collective=n.collective, comm_dims=n.comm_dims, peer=n.peer,
+            tag=n.tag, location=n.location, involved_npus=n.involved_npus,
+            attrs=dict(n.attrs),
+        )
+        for n in trace
+    ])
+
+
+class TestRepresentativeEqualsFullMembership:
+    @pytest.mark.parametrize("scheduler", ["baseline", "themis"])
+    def test_single_collective(self, scheduler):
+        topo = parse_topology("Ring(2)_FC(4)", [100, 50], latencies_ns=[0, 0])
+        rep_traces = generate_single_collective(
+            topo, CollectiveType.ALL_REDUCE, 64 * MiB)
+        full_traces = {
+            npu: _clone_trace_for(npu, rep_traces[0])
+            for npu in range(topo.num_npus)
+        }
+        rep = repro.simulate(rep_traces, _config(topo, scheduler))
+        full = repro.simulate(full_traces, _config(topo, scheduler))
+        assert full.total_time_ns == pytest.approx(rep.total_time_ns)
+        assert len(full.collectives) == 1  # one shared op, all members
+        assert full.collectives[0].group_size == rep.collectives[0].group_size
+
+    def test_compute_comm_workload(self):
+        topo = parse_topology("Ring(4)_Switch(2)", [100, 50],
+                              latencies_ns=[0, 0])
+
+        def build(npu):
+            b = TraceBuilder(npu)
+            c1 = b.compute("fwd", 1_000_000)
+            ar1 = b.collective("ar1", CollectiveType.ALL_REDUCE, 8 * MiB,
+                               (0, 1), deps=(c1,))
+            c2 = b.compute("bwd", 2_000_000, deps=(ar1,))
+            b.collective("ar2", CollectiveType.ALL_REDUCE, 16 * MiB,
+                         (0, 1), deps=(c2,))
+            return b.build()
+
+        rep = repro.simulate({0: build(0)}, _config(topo))
+        full = repro.simulate(
+            {npu: build(npu) for npu in range(topo.num_npus)}, _config(topo))
+        assert full.total_time_ns == pytest.approx(rep.total_time_ns)
+        assert len(full.collectives) == 2
+
+    def test_subgroup_collectives_per_group(self):
+        """Different dim-0 groups each get their own collective instance,
+        and all instances finish at the representative-model time."""
+        topo = parse_topology("Ring(4)_Switch(2)", [100, 50],
+                              latencies_ns=[0, 0])
+
+        def build(npu):
+            b = TraceBuilder(npu)
+            b.collective("ar", CollectiveType.ALL_REDUCE, 8 * MiB, (0,))
+            return b.build()
+
+        full = repro.simulate(
+            {npu: build(npu) for npu in range(topo.num_npus)}, _config(topo))
+        # 2 dim-0 groups of 4 NPUs -> 2 collective instances.
+        assert len(full.collectives) == 2
+        durations = [c.duration_ns for c in full.collectives]
+        assert durations[0] == pytest.approx(durations[1])
+        rep = repro.simulate({0: build(0)}, _config(topo))
+        assert durations[0] == pytest.approx(rep.collectives[0].duration_ns)
+
+    def test_rendezvous_start_time_is_last_arrival(self):
+        """With full membership, the collective starts only when the
+        slowest member arrives — a behaviour the representative model
+        cannot capture alone (it is the documented approximation)."""
+        topo = parse_topology("Ring(2)", [100], latencies_ns=[0])
+
+        def build(npu, flops):
+            b = TraceBuilder(npu)
+            c = b.compute("warmup", flops)
+            b.collective("ar", CollectiveType.ALL_REDUCE, 1 * MiB, (0,),
+                         deps=(c,))
+            return b.build()
+
+        full = repro.simulate(
+            {0: build(0, 1_000), 1: build(1, 50_000_000)}, _config(topo))
+        record = full.collectives[0]
+        # Start gated by NPU 1's 500 us of compute.
+        assert record.start_ns == pytest.approx(50_000_000 / 100e3, rel=0.01)

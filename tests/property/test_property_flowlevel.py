@@ -1,0 +1,97 @@
+"""Property-based tests for the flow-level backend."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.events import EventEngine
+from repro.network import AnalyticalNetwork, parse_topology
+from repro.network.flowlevel import FlowLevelNetwork
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=1 << 24),
+                   min_size=1, max_size=8),
+)
+def test_shared_link_drains_in_total_bytes_over_capacity(sizes):
+    """Work conservation: N flows on one 100 GB/s link finish exactly at
+    sum(bytes)/100, whatever the size mix (max-min keeps the link busy)."""
+    topo = parse_topology("Ring(4)", [100], latencies_ns=[0])
+    engine = EventEngine()
+    net = FlowLevelNetwork(engine, topo)
+    done = []
+    for i, size in enumerate(sizes):
+        net.sim_recv(1, 0, size, tag=i, callback=lambda m: done.append(engine.now))
+        net.sim_send(0, 1, size, tag=i)
+    engine.run()
+    assert len(done) == len(sizes)
+    assert max(done) == pytest.approx(sum(sizes) / 100, rel=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_flows=st.integers(min_value=1, max_value=6),
+    size=st.integers(min_value=1024, max_value=1 << 22),
+)
+def test_equal_flows_finish_together(n_flows, size):
+    topo = parse_topology("Ring(4)", [100], latencies_ns=[0])
+    engine = EventEngine()
+    net = FlowLevelNetwork(engine, topo)
+    done = []
+    for i in range(n_flows):
+        net.sim_recv(1, 0, size, tag=i, callback=lambda m: done.append(engine.now))
+        net.sim_send(0, 1, size, tag=i)
+    engine.run()
+    assert max(done) == pytest.approx(min(done), rel=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=1 << 26),
+    src=st.integers(min_value=0, max_value=7),
+    dst=st.integers(min_value=0, max_value=7),
+)
+def test_single_flow_matches_analytical_per_dim_serialization(size, src, dst):
+    """One unloaded flow: the fluid model serializes once end-to-end,
+    which equals the analytical time minus its per-dim store-and-forward
+    (identical whenever the route stays within one dimension)."""
+    if src == dst:
+        return
+    topo = parse_topology("Ring(8)", [100], latencies_ns=[50])
+    engine_a = EventEngine()
+    analytical = AnalyticalNetwork(engine_a, topo).transfer_time(src, dst, size)
+
+    engine = EventEngine()
+    net = FlowLevelNetwork(engine, topo)
+    done = []
+    net.sim_recv(dst, src, size, callback=lambda m: done.append(engine.now))
+    net.sim_send(src, dst, size)
+    engine.run()
+    assert done[0] == pytest.approx(analytical, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    joins=st.lists(
+        st.tuples(st.floats(min_value=0, max_value=500, allow_nan=False),
+                  st.integers(min_value=1024, max_value=1 << 20)),
+        min_size=1, max_size=5),
+)
+def test_dynamic_arrivals_never_lose_bytes(joins):
+    """Flows joining at arbitrary times all complete; delivery count and
+    byte totals are conserved."""
+    topo = parse_topology("Ring(4)", [100], latencies_ns=[10])
+    engine = EventEngine()
+    net = FlowLevelNetwork(engine, topo)
+    delivered = []
+
+    def start(tag, size):
+        net.sim_recv(1, 0, size, tag=tag,
+                     callback=lambda m: delivered.append(m.size_bytes))
+        net.sim_send(0, 1, size, tag=tag)
+
+    for tag, (at, size) in enumerate(joins):
+        engine.schedule(at, start, tag, size)
+    engine.run()
+    assert sorted(delivered) == sorted(size for _, size in joins)
+    assert net.active_flows == 0

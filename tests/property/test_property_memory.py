@@ -1,0 +1,111 @@
+"""Property-based tests on the memory models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import (
+    HierMemConfig,
+    HierarchicalRemoteMemory,
+    InSwitchCollectiveMemory,
+    LocalMemory,
+    MemoryRequest,
+    ZeroInfinityConfig,
+    ZeroInfinityMemory,
+)
+from repro.memory.capacity import MemoryFootprint, check_capacity
+from repro.trace import TensorLocation
+
+sizes = st.integers(min_value=0, max_value=1 << 34)
+bandwidths = st.floats(min_value=1.0, max_value=10000.0, allow_nan=False)
+
+
+@st.composite
+def pool_configs(draw):
+    return HierMemConfig(
+        num_nodes=draw(st.integers(min_value=1, max_value=32)),
+        gpus_per_node=draw(st.integers(min_value=1, max_value=32)),
+        num_out_switches=draw(st.integers(min_value=1, max_value=32)),
+        num_remote_groups=draw(st.integers(min_value=1, max_value=512)),
+        mem_side_bw_gbps=draw(bandwidths),
+        gpu_side_out_bw_gbps=draw(bandwidths),
+        in_node_bw_gbps=draw(bandwidths),
+        chunk_bytes=draw(st.sampled_from([1 << 16, 1 << 20, 1 << 22])),
+        access_latency_ns=draw(st.floats(min_value=0, max_value=1e5)),
+    )
+
+
+def _remote(size):
+    return MemoryRequest(size, location=TensorLocation.REMOTE)
+
+
+@given(bandwidths, st.floats(min_value=0, max_value=1e6, allow_nan=False),
+       sizes)
+def test_local_memory_monotone_in_size(bw, lat, size):
+    mem = LocalMemory(bandwidth_gbps=bw, latency_ns=lat)
+    t1 = mem.access_time_ns(MemoryRequest(size))
+    t2 = mem.access_time_ns(MemoryRequest(size + 4096))
+    assert t2 >= t1 >= lat
+
+
+@settings(max_examples=50)
+@given(pool_configs(), sizes)
+def test_hierarchical_pool_time_nonnegative_and_monotone(config, size):
+    mem = HierarchicalRemoteMemory(config)
+    t = mem.access_time_ns(_remote(size))
+    assert t >= config.access_latency_ns
+    bigger = mem.access_time_ns(_remote(size + (1 << 22)))
+    assert bigger >= t - 1e-6
+
+
+@settings(max_examples=50)
+@given(pool_configs(), st.integers(min_value=1, max_value=1 << 30))
+def test_pool_effective_bandwidth_bounded_by_resources(config, size):
+    """No pool access can beat its binding resource: the aggregate group
+    bandwidth shared across GPUs, or the per-GPU in-node link."""
+    mem = HierarchicalRemoteMemory(config)
+    t = mem.access_time_ns(_remote(size)) - config.access_latency_ns
+    per_gpu_share = (
+        config.num_remote_groups * config.mem_side_bw_gbps / config.num_gpus
+    )
+    binding = min(per_gpu_share, config.in_node_bw_gbps)
+    lower_bound = size / binding
+    assert t >= lower_bound * (1 - 1e-9)
+
+
+@settings(max_examples=50)
+@given(pool_configs(), st.integers(min_value=1, max_value=1 << 28))
+def test_inswitch_never_cheaper_than_plain_per_byte_delivered(config, size):
+    """An in-switch gather-load delivers num_gpus x the bytes of a plain
+    load of the same shard; its time must be at least the plain load's."""
+    plain = HierarchicalRemoteMemory(config).access_time_ns(_remote(size))
+    gathered = InSwitchCollectiveMemory(config).access_time_ns(_remote(size))
+    assert gathered >= plain * (1 - 1e-9)
+
+
+@given(bandwidths, sizes)
+def test_zero_infinity_linear_in_size(bw, size):
+    mem = ZeroInfinityMemory(ZeroInfinityConfig(
+        path_bandwidth_gbps=bw, access_latency_ns=0.0))
+    t = mem.access_time_ns(_remote(size))
+    assert t == pytest.approx(size / bw)
+
+
+@given(
+    st.integers(min_value=0, max_value=1 << 45),
+    st.integers(min_value=0, max_value=1 << 45),
+    st.integers(min_value=0, max_value=1 << 45),
+    st.integers(min_value=0, max_value=1 << 45),
+    st.floats(min_value=0.001, max_value=4096, allow_nan=False),
+)
+def test_capacity_report_invariants(p, g, o, a, hbm_gib):
+    fp = MemoryFootprint(params=p, grads=g, optimizer=o, activations=a)
+    report = check_capacity(fp, hbm_gib=hbm_gib)
+    assert 0 <= report.offload_bytes <= fp.model_state
+    if report.fits:
+        assert report.offload_bytes == 0
+    if report.offload_bytes < fp.total - report.hbm_bytes:
+        # Couldn't offload enough model state: activations must be the
+        # reason it stays infeasible.
+        assert not report.feasible_with_offload or report.fits

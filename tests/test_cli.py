@@ -1,0 +1,107 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRun:
+    def test_allreduce(self, capsys):
+        code = main([
+            "run", "--topology", "Ring(4)_Switch(2)",
+            "--bandwidths", "100,50", "--workload", "allreduce",
+            "--payload-mib", "64",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8 NPUs" in out
+        assert "total" in out
+        assert "exp.comm" in out
+
+    def test_gpt3_with_parallelism(self, capsys):
+        code = main([
+            "run", "--topology", "Ring(2)_FC(8)_Ring(8)_Switch(4)",
+            "--bandwidths", "250,200,100,50", "--workload", "gpt3",
+            "--mp", "16", "--dp", "32", "--scheduler", "baseline",
+            "--collectives", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "collectives:" in out
+        assert out.count(" us") >= 3
+
+    def test_pipeline_workload(self, capsys):
+        code = main([
+            "run", "--topology", "Ring(8)_Switch(4)",
+            "--bandwidths", "100,50", "--workload", "pp-gpt3",
+            "--pp", "8", "--dp", "4", "--mp", "1", "--microbatches", "2",
+        ])
+        assert code == 0
+        assert "pp-gpt3" in capsys.readouterr().out
+
+    def test_custom_latencies(self, capsys):
+        code = main([
+            "run", "--topology", "Ring(4)", "--bandwidths", "100",
+            "--latencies", "50", "--workload", "allreduce",
+            "--payload-mib", "1",
+        ])
+        assert code == 0
+
+    def test_bad_bandwidths_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--topology", "Ring(4)", "--bandwidths", "abc"])
+
+    def test_flow_backend_for_p2p_workload(self, capsys):
+        code = main([
+            "run", "--topology", "Ring(8)", "--bandwidths", "100",
+            "--workload", "pp-gpt3", "--pp", "8", "--dp", "1", "--mp", "1",
+            "--microbatches", "2", "--backend", "flow",
+        ])
+        assert code == 0
+        assert "total" in capsys.readouterr().out
+
+    def test_json_and_chrome_outputs(self, tmp_path, capsys):
+        json_path = tmp_path / "r.json"
+        trace_path = tmp_path / "t.json"
+        code = main([
+            "run", "--topology", "Ring(4)", "--bandwidths", "100",
+            "--workload", "allreduce", "--payload-mib", "16",
+            "--json-out", str(json_path), "--chrome-trace", str(trace_path),
+        ])
+        assert code == 0
+        assert json.loads(json_path.read_text())["total_time_ns"] > 0
+        doc = json.loads(trace_path.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+
+class TestTraceInfo:
+    def test_summary_printed(self, tmp_path, capsys):
+        payload = {
+            "format": "astra-sim-et", "version": 1, "npu_id": 3,
+            "nodes": [
+                {"id": 0, "type": "compute", "flops": 1000},
+                {"id": 1, "type": "comm_collective",
+                 "collective": "all_reduce", "tensor_bytes": 4096,
+                 "deps": [0]},
+            ],
+        }
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(payload))
+        code = main(["trace-info", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace for NPU 3" in out
+        assert "all_reduce" in out
+
+
+class TestTopologyInfo:
+    def test_describes_dims(self, capsys):
+        code = main(["topology-info", "Ring(4)_Switch(8)",
+                     "--bandwidths", "100,25"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "32 NPUs" in out
+        assert "halving_doubling" in out
+        assert "ring" in out

@@ -1,0 +1,73 @@
+"""Unit tests for backend selection in the full simulator."""
+
+import pytest
+
+import repro
+from repro.core import Simulator, SystemConfig
+from repro.memory import LocalMemory
+from repro.network import parse_topology
+from repro.system import RooflineCompute
+from repro.trace import CollectiveType, ETNode, ExecutionTrace, NodeType
+from repro.workload import ParallelismSpec, generate_pipeline_parallel
+from repro.workload.models import TransformerSpec
+
+
+def _config(topology, backend):
+    return SystemConfig(
+        topology=topology,
+        network_backend=backend,
+        compute=RooflineCompute(peak_tflops=100.0),
+        local_memory=LocalMemory(bandwidth_gbps=1000.0),
+        collective_chunks=4,
+    )
+
+
+def _pp_traces(topology):
+    # Pure pipeline parallelism (no DP) keeps the workload p2p-only, which
+    # is what the packet-level backend supports.
+    model = TransformerSpec("tiny", num_layers=8, hidden=64, seq_len=32,
+                            batch_per_replica=2)
+    return generate_pipeline_parallel(
+        model, topology, ParallelismSpec(pp=8), microbatches=2)
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        topo = parse_topology("Ring(4)", [100])
+        with pytest.raises(ValueError):
+            SystemConfig(topology=topo, network_backend="ns3")
+
+    def test_collectives_rejected_on_garnet(self):
+        topo = parse_topology("Ring(4)", [100])
+        trace = ExecutionTrace(0, [
+            ETNode(0, NodeType.COMM_COLLECTIVE, tensor_bytes=100,
+                   collective=CollectiveType.ALL_REDUCE),
+        ])
+        sim = Simulator({0: trace}, _config(topo, "garnet"))
+        with pytest.raises(ValueError, match="analytical"):
+            sim.run()
+
+    def test_pipeline_runs_on_all_backends_and_agrees(self):
+        """Pure p2p workloads cross-validate: the packet and flow backends
+        must reproduce the analytical result for congestion-free
+        activation traffic (within packet-quantization noise)."""
+        topo = parse_topology("Ring(4)_Switch(2)", [100, 50],
+                              latencies_ns=[100, 500])
+        results = {}
+        for backend in ("analytical", "garnet", "flow"):
+            traces = _pp_traces(topo)
+            results[backend] = Simulator(
+                traces, _config(topo, backend)).run()
+        a = results["analytical"]
+        for name in ("garnet", "flow"):
+            r = results[name]
+            assert r.nodes_executed == a.nodes_executed, name
+            assert r.total_time_ns == pytest.approx(
+                a.total_time_ns, rel=0.05), name
+
+    def test_garnet_backend_counts_packet_hops(self):
+        topo = parse_topology("Ring(4)_Switch(2)", [100, 50])
+        traces = _pp_traces(topo)
+        sim = Simulator(traces, _config(topo, "garnet"))
+        sim.run()
+        assert sim.network.packet_hops > 0

@@ -1,0 +1,218 @@
+"""Unit tests for the graph-based execution engine."""
+
+import pytest
+
+from repro.core import DeadlockError, Simulator, SystemConfig
+from repro.memory import HierMemConfig, InSwitchCollectiveMemory, ZeroInfinityConfig, ZeroInfinityMemory
+from repro.network import parse_topology
+from repro.stats import Activity
+from repro.system import RooflineCompute
+from repro.trace import CollectiveType, ETNode, ExecutionTrace, NodeType, TensorLocation
+from repro.memory import LocalMemory
+
+
+def _topo(notation="Ring(4)_Switch(2)", bws=(100, 50)):
+    return parse_topology(notation, list(bws), latencies_ns=[0] * len(bws))
+
+
+def _config(topology=None, **kwargs):
+    defaults = dict(
+        topology=topology or _topo(),
+        compute=RooflineCompute(peak_tflops=1.0),  # 1e3 FLOP/ns
+        local_memory=LocalMemory(bandwidth_gbps=100.0, latency_ns=0.0),
+        collective_chunks=2,
+    )
+    defaults.update(kwargs)
+    return SystemConfig(**defaults)
+
+
+def _compute(node_id, flops, deps=()):
+    return ETNode(node_id, NodeType.COMPUTE, flops=flops, deps=deps)
+
+
+class TestComputeChains:
+    def test_serial_chain_times_add(self):
+        trace = ExecutionTrace(0, [_compute(0, 1000), _compute(1, 2000, deps=(0,))])
+        result = Simulator({0: trace}, _config()).run()
+        assert result.total_time_ns == pytest.approx(1.0 + 2.0)
+        assert result.nodes_executed == 2
+
+    def test_parallel_nodes_serialize_on_compute_unit(self):
+        # Two independent compute nodes: one compute unit -> serialized.
+        trace = ExecutionTrace(0, [_compute(0, 1000), _compute(1, 1000)])
+        result = Simulator({0: trace}, _config()).run()
+        assert result.total_time_ns == pytest.approx(2.0)
+        assert result.breakdown.compute_ns == pytest.approx(2.0)
+
+    def test_diamond_dependencies(self):
+        nodes = [
+            _compute(0, 1000),
+            _compute(1, 1000, deps=(0,)),
+            _compute(2, 3000, deps=(0,)),
+            _compute(3, 1000, deps=(1, 2)),
+        ]
+        result = Simulator({0: ExecutionTrace(0, nodes)}, _config()).run()
+        # Branches serialize on the unit: 1 + (1 + 3) + 1.
+        assert result.total_time_ns == pytest.approx(6.0)
+
+
+class TestMemoryDispatch:
+    def test_local_memory_node(self):
+        nodes = [ETNode(0, NodeType.MEMORY_LOAD, tensor_bytes=1000)]
+        result = Simulator({0: ExecutionTrace(0, nodes)}, _config()).run()
+        assert result.total_time_ns == pytest.approx(10.0)
+        assert result.breakdown.exposed_mem_local_ns == pytest.approx(10.0)
+
+    def test_remote_memory_requires_model(self):
+        nodes = [ETNode(0, NodeType.MEMORY_LOAD, tensor_bytes=1000,
+                        location=TensorLocation.REMOTE)]
+        sim = Simulator({0: ExecutionTrace(0, nodes)}, _config())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_remote_memory_dispatches_to_remote_model(self):
+        nodes = [ETNode(0, NodeType.MEMORY_LOAD, tensor_bytes=1000,
+                        location=TensorLocation.REMOTE)]
+        config = _config(remote_memory=ZeroInfinityMemory(
+            ZeroInfinityConfig(path_bandwidth_gbps=1.0, access_latency_ns=0.0)))
+        result = Simulator({0: ExecutionTrace(0, nodes)}, config).run()
+        assert result.total_time_ns == pytest.approx(1000.0)
+        assert result.breakdown.exposed_mem_remote_ns == pytest.approx(1000.0)
+
+    def test_memory_overlaps_compute(self):
+        nodes = [
+            _compute(0, 10_000),
+            ETNode(1, NodeType.MEMORY_LOAD, tensor_bytes=500),
+        ]
+        result = Simulator({0: ExecutionTrace(0, nodes)}, _config()).run()
+        # Load (5 ns) hides under compute (10 ns).
+        assert result.total_time_ns == pytest.approx(10.0)
+        assert result.breakdown.exposed_mem_local_ns == 0.0
+
+
+class TestCollectives:
+    def _ar(self, node_id, size, dims=None, deps=()):
+        return ETNode(node_id, NodeType.COMM_COLLECTIVE, tensor_bytes=size,
+                      deps=deps, collective=CollectiveType.ALL_REDUCE,
+                      comm_dims=dims)
+
+    def test_single_trace_representative_collective(self):
+        trace = ExecutionTrace(0, [self._ar(0, 1000, dims=(0,))])
+        result = Simulator({0: trace}, _config()).run()
+        # Ring(4) @100: 2 * 0.75 * 1000 / 100 = 15 ns.
+        assert result.total_time_ns == pytest.approx(15.0)
+        assert len(result.collectives) == 1
+        assert result.collectives[0].group_size == 4
+
+    def test_multi_trace_rendezvous_waits_for_all(self):
+        # NPUs 0 and 1 are both in the dim-0 ring group; NPU 1 computes
+        # first, delaying the collective start.
+        t0 = ExecutionTrace(0, [self._ar(0, 1000, dims=(0,))])
+        t1 = ExecutionTrace(1, [_compute(0, 5000),
+                                self._ar(1, 1000, dims=(0,), deps=(0,))])
+        result = Simulator({0: t0, 1: t1}, _config()).run()
+        assert result.total_time_ns == pytest.approx(5.0 + 15.0)
+
+    def test_collectives_match_in_issue_order(self):
+        t0 = ExecutionTrace(0, [self._ar(0, 1000, dims=(0,)),
+                                self._ar(1, 2000, dims=(0,), deps=(0,))])
+        t1 = ExecutionTrace(1, [self._ar(0, 1000, dims=(0,)),
+                                self._ar(1, 2000, dims=(0,), deps=(0,))])
+        result = Simulator({0: t0, 1: t1}, _config()).run()
+        assert len(result.collectives) == 2
+        assert result.collectives[0].payload_bytes == 1000
+        assert result.collectives[1].payload_bytes == 2000
+
+    def test_disjoint_groups_run_in_parallel(self):
+        # NPUs 0 and 2 are in different dim-0... actually same ring group;
+        # use dim-1 groups instead: {0,4} and {1,5}.
+        t0 = ExecutionTrace(0, [self._ar(0, 1000, dims=(1,))])
+        t1 = ExecutionTrace(1, [self._ar(0, 1000, dims=(1,))])
+        result = Simulator({0: t0, 1: t1}, _config()).run()
+        # Switch(2) @50: 2 * 0.5 * 1000 / 50 = 20 ns, in parallel.
+        assert result.total_time_ns == pytest.approx(20.0)
+        assert len(result.collectives) == 2
+
+    def test_collective_activity_recorded_for_all_members(self):
+        t0 = ExecutionTrace(0, [self._ar(0, 1000, dims=(0,))])
+        t1 = ExecutionTrace(1, [self._ar(0, 1000, dims=(0,))])
+        sim = Simulator({0: t0, 1: t1}, _config())
+        result = sim.run()
+        for npu in (0, 1):
+            assert result.per_npu_breakdown[npu].exposed_comm_ns > 0
+
+    def test_fabric_collective_requires_model(self):
+        node = ETNode(0, NodeType.COMM_COLLECTIVE, tensor_bytes=1000,
+                      collective=CollectiveType.ALL_TO_ALL,
+                      attrs={"via": "fabric"})
+        sim = Simulator({0: ExecutionTrace(0, [node])}, _config())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_fabric_collective_uses_inswitch_model(self):
+        pool = HierMemConfig(num_nodes=2, gpus_per_node=4, num_out_switches=2,
+                             num_remote_groups=4, access_latency_ns=0.0)
+        fabric = InSwitchCollectiveMemory(pool)
+        node = ETNode(0, NodeType.COMM_COLLECTIVE, tensor_bytes=1 << 20,
+                      collective=CollectiveType.ALL_TO_ALL,
+                      attrs={"via": "fabric"})
+        topo = parse_topology("Ring(4)_Switch(2)", [100, 50])
+        config = _config(topology=topo, fabric_collectives=fabric)
+        result = Simulator({0: ExecutionTrace(0, [node])}, config).run()
+        expected = fabric.alltoall_time_ns(1 << 20)
+        assert result.total_time_ns == pytest.approx(expected)
+
+
+class TestPointToPoint:
+    def test_send_recv_pair(self):
+        t0 = ExecutionTrace(0, [ETNode(0, NodeType.COMM_SEND, tensor_bytes=1000,
+                                       peer=1, tag=5)])
+        t1 = ExecutionTrace(1, [ETNode(0, NodeType.COMM_RECV, tensor_bytes=1000,
+                                       peer=0, tag=5)])
+        result = Simulator({0: t0, 1: t1}, _config()).run()
+        assert result.total_time_ns == pytest.approx(10.0)
+
+    def test_unmatched_recv_deadlocks(self):
+        t1 = ExecutionTrace(1, [ETNode(0, NodeType.COMM_RECV, tensor_bytes=1000,
+                                       peer=0, tag=5)])
+        sim = Simulator({1: t1}, _config())
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_pipeline_style_dependency_through_recv(self):
+        t0 = ExecutionTrace(0, [
+            _compute(0, 10_000),
+            ETNode(1, NodeType.COMM_SEND, tensor_bytes=1000, peer=1, tag=1,
+                   deps=(0,)),
+        ])
+        t1 = ExecutionTrace(1, [
+            ETNode(0, NodeType.COMM_RECV, tensor_bytes=1000, peer=0, tag=1),
+            _compute(1, 10_000, deps=(0,)),
+        ])
+        result = Simulator({0: t0, 1: t1}, _config()).run()
+        # 10 compute + 10 transfer + 10 compute.
+        assert result.total_time_ns == pytest.approx(30.0)
+
+
+class TestValidation:
+    def test_trace_id_mismatch_rejected(self):
+        trace = ExecutionTrace(0, [_compute(0, 1)])
+        with pytest.raises(ValueError):
+            Simulator({3: trace}, _config())
+
+    def test_trace_for_nonexistent_npu_rejected(self):
+        trace = ExecutionTrace(99, [_compute(0, 1)])
+        with pytest.raises(Exception):
+            Simulator({99: trace}, _config())
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator({}, _config())
+
+    def test_bad_scheduler_name_rejected_at_config(self):
+        with pytest.raises(ValueError):
+            SystemConfig(topology=_topo(), scheduler="nope")
+
+    def test_bad_chunks_rejected_at_config(self):
+        with pytest.raises(ValueError):
+            SystemConfig(topology=_topo(), collective_chunks=0)

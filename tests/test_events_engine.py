@@ -1,0 +1,163 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.events import EventEngine, SimulationError
+
+
+def test_schedule_and_run_advances_clock():
+    engine = EventEngine()
+    fired = []
+    engine.schedule(10.0, lambda: fired.append(engine.now))
+    engine.schedule(5.0, lambda: fired.append(engine.now))
+    end = engine.run()
+    assert fired == [5.0, 10.0]
+    assert end == 10.0
+
+
+def test_same_time_events_fire_fifo():
+    engine = EventEngine()
+    order = []
+    for i in range(5):
+        engine.schedule(1.0, order.append, i)
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_priority_overrides_fifo_at_same_time():
+    engine = EventEngine()
+    order = []
+    engine.schedule(1.0, order.append, "low", priority=1)
+    engine.schedule(1.0, order.append, "high", priority=0)
+    engine.run()
+    assert order == ["high", "low"]
+
+
+def test_callback_can_schedule_more_events():
+    engine = EventEngine()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            engine.schedule(1.0, chain, n + 1)
+
+    engine.schedule(0.0, chain, 0)
+    end = engine.run()
+    assert seen == [0, 1, 2, 3]
+    assert end == 3.0
+
+
+def test_zero_delay_event_fires_at_current_time():
+    engine = EventEngine()
+    times = []
+    engine.schedule(2.0, lambda: engine.schedule(0.0, lambda: times.append(engine.now)))
+    engine.run()
+    assert times == [2.0]
+
+
+def test_negative_delay_rejected():
+    engine = EventEngine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    engine = EventEngine()
+    engine.schedule(5.0, lambda: engine.schedule_at(1.0, lambda: None))
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_cancelled_event_does_not_fire():
+    engine = EventEngine()
+    fired = []
+    event = engine.schedule(1.0, fired.append, "a")
+    engine.schedule(2.0, fired.append, "b")
+    event.cancel()
+    engine.run()
+    assert fired == ["b"]
+
+
+def test_run_until_is_inclusive():
+    engine = EventEngine()
+    fired = []
+    engine.schedule(5.0, fired.append, "at")
+    engine.schedule(6.0, fired.append, "after")
+    engine.run(until=5.0)
+    assert fired == ["at"]
+    assert engine.now == 5.0
+    engine.run()
+    assert fired == ["at", "after"]
+
+
+def test_run_max_events():
+    engine = EventEngine()
+    fired = []
+    for i in range(10):
+        engine.schedule(float(i), fired.append, i)
+    engine.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_stop_halts_run():
+    engine = EventEngine()
+    fired = []
+    engine.schedule(1.0, lambda: (fired.append(1), engine.stop()))
+    engine.schedule(2.0, fired.append, 2)
+    engine.run()
+    assert fired == [1]
+    assert engine.pending == 1
+
+
+def test_step_fires_exactly_one_event():
+    engine = EventEngine()
+    fired = []
+    engine.schedule(1.0, fired.append, "a")
+    engine.schedule(2.0, fired.append, "b")
+    assert engine.step() is True
+    assert fired == ["a"]
+    assert engine.step() is True
+    assert engine.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    engine = EventEngine()
+    e1 = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    e1.cancel()
+    assert engine.peek_time() == 2.0
+
+
+def test_reset_clears_state():
+    engine = EventEngine()
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    engine.schedule(1.0, lambda: None)
+    engine.reset()
+    assert engine.now == 0.0
+    assert engine.pending == 0
+    assert engine.events_processed == 0
+
+
+def test_events_processed_counter():
+    engine = EventEngine()
+    for i in range(7):
+        engine.schedule(float(i), lambda: None)
+    engine.run()
+    assert engine.events_processed == 7
+
+
+def test_reentrant_run_rejected():
+    engine = EventEngine()
+    errors = []
+
+    def reenter():
+        try:
+            engine.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    engine.schedule(1.0, reenter)
+    engine.run()
+    assert len(errors) == 1

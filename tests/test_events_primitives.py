@@ -1,0 +1,99 @@
+"""Unit tests for synchronization primitives."""
+
+import pytest
+
+from repro.events import Barrier, CallbackList, EventEngine, Semaphore, SimulationError
+
+
+class TestCallbackList:
+    def test_callbacks_fire_in_order(self):
+        cl = CallbackList()
+        seen = []
+        cl.add(lambda: seen.append(1))
+        cl.add(lambda: seen.append(2))
+        cl.fire()
+        assert seen == [1, 2]
+
+    def test_late_registration_fires_immediately(self):
+        cl = CallbackList()
+        cl.fire()
+        seen = []
+        cl.add(lambda: seen.append("late"))
+        assert seen == ["late"]
+
+    def test_double_fire_rejected(self):
+        cl = CallbackList()
+        cl.fire()
+        with pytest.raises(SimulationError):
+            cl.fire()
+
+    def test_fired_flag(self):
+        cl = CallbackList()
+        assert not cl.fired
+        cl.fire()
+        assert cl.fired
+
+
+class TestBarrier:
+    def test_releases_on_last_arrival(self):
+        released = []
+        barrier = Barrier(3, lambda: released.append(True))
+        barrier.arrive()
+        barrier.arrive()
+        assert not released
+        barrier.arrive()
+        assert released == [True]
+
+    def test_extra_arrival_rejected(self):
+        barrier = Barrier(1, lambda: None)
+        barrier.arrive()
+        with pytest.raises(SimulationError):
+            barrier.arrive()
+
+    def test_nonpositive_parties_rejected(self):
+        with pytest.raises(ValueError):
+            Barrier(0, lambda: None)
+
+    def test_arrived_count(self):
+        barrier = Barrier(2, lambda: None)
+        barrier.arrive()
+        assert barrier.arrived == 1
+        assert not barrier.released
+
+
+class TestSemaphore:
+    def test_immediate_acquire_within_permits(self):
+        engine = EventEngine()
+        sem = Semaphore(engine, 2)
+        got = []
+        sem.acquire(lambda: got.append(1))
+        sem.acquire(lambda: got.append(2))
+        assert got == [1, 2]
+        assert sem.available == 0
+
+    def test_waiter_released_fifo(self):
+        engine = EventEngine()
+        sem = Semaphore(engine, 1)
+        got = []
+        sem.acquire(lambda: got.append("first"))
+        sem.acquire(lambda: got.append("second"))
+        sem.acquire(lambda: got.append("third"))
+        assert got == ["first"]
+        assert sem.queued == 2
+        sem.release()
+        engine.run()
+        assert got == ["first", "second"]
+        sem.release()
+        engine.run()
+        assert got == ["first", "second", "third"]
+
+    def test_release_without_waiters_restores_permit(self):
+        engine = EventEngine()
+        sem = Semaphore(engine, 1)
+        sem.acquire(lambda: None)
+        sem.release()
+        assert sem.available == 1
+
+    def test_nonpositive_permits_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore(EventEngine(), 0)

@@ -1,0 +1,105 @@
+"""Unit tests for memory-capacity accounting (Sec. III-C motivation)."""
+
+import pytest
+
+from repro.memory.capacity import (
+    GiB,
+    MemoryFootprint,
+    check_capacity,
+    moe_footprint,
+    transformer_footprint,
+)
+from repro.workload import ParallelismSpec, gpt3_175b, moe_1t
+from repro.workload.models import TransformerSpec
+
+
+class TestTransformerFootprint:
+    def test_gpt3_does_not_fit_80gb_without_zero(self):
+        """The paper's motivating fact: model state alone exceeds HBM."""
+        fp = transformer_footprint(gpt3_175b(), ParallelismSpec(mp=16, dp=32))
+        report = check_capacity(fp, hbm_gib=80)
+        assert not report.fits
+        # Optimizer state dominates: 12 B/param over MP=16.
+        assert fp.optimizer == pytest.approx(175e9 * 12 / 16, rel=0.02)
+
+    def test_zero3_partitions_everything_across_dp(self):
+        spec = ParallelismSpec(mp=16, dp=32)
+        base = transformer_footprint(gpt3_175b(), spec, zero_stage=0)
+        z3 = transformer_footprint(gpt3_175b(), spec, zero_stage=3)
+        assert z3.params == base.params // 32
+        assert z3.grads == base.grads // 32
+        assert z3.optimizer == base.optimizer // 32
+        assert z3.activations == base.activations
+
+    def test_zero_stages_monotone(self):
+        spec = ParallelismSpec(mp=16, dp=32)
+        totals = [
+            transformer_footprint(gpt3_175b(), spec, zero_stage=s).total
+            for s in (0, 1, 2, 3)
+        ]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_mp_and_pp_shard_parameters(self):
+        model = TransformerSpec("t", num_layers=8, hidden=1024, seq_len=128)
+        a = transformer_footprint(model, ParallelismSpec(mp=2, dp=4))
+        b = transformer_footprint(model, ParallelismSpec(mp=2, pp=2, dp=2))
+        assert b.params == a.params // 2
+
+    def test_invalid_stage_rejected(self):
+        with pytest.raises(ValueError):
+            transformer_footprint(gpt3_175b(), ParallelismSpec(mp=16, dp=32),
+                                  zero_stage=4)
+
+
+class TestMoEFootprint:
+    def test_moe_1t_needs_offload_on_40gb(self):
+        """The Sec. V-B setting: 1T parameters over 256 GPUs spill a
+        40 GiB HBM (optimizer state alone is ~45 GiB per GPU)."""
+        fp = moe_footprint(moe_1t(), num_gpus=256)
+        report = check_capacity(fp, hbm_gib=40)
+        assert not report.fits
+        assert report.feasible_with_offload
+        assert report.offload_bytes > 0
+        assert fp.optimizer > 40 * GiB
+
+    def test_expert_parallelism_shards_experts(self):
+        small = moe_footprint(moe_1t(), num_gpus=64)
+        large = moe_footprint(moe_1t(), num_gpus=256)
+        assert large.params < small.params
+
+    def test_invalid_gpus_rejected(self):
+        with pytest.raises(ValueError):
+            moe_footprint(moe_1t(), num_gpus=0)
+
+
+class TestCapacityReport:
+    def test_fits(self):
+        fp = MemoryFootprint(params=GiB, grads=GiB, optimizer=GiB,
+                             activations=GiB)
+        assert check_capacity(fp, hbm_gib=5).fits
+        assert check_capacity(fp, hbm_gib=5).offload_bytes == 0
+
+    def test_offload_covers_spill(self):
+        fp = MemoryFootprint(params=4 * GiB, grads=4 * GiB,
+                             optimizer=24 * GiB, activations=8 * GiB)
+        report = check_capacity(fp, hbm_gib=16)
+        assert not report.fits
+        assert report.offload_bytes == fp.total - 16 * GiB
+        assert report.feasible_with_offload
+
+    def test_activations_alone_can_be_infeasible(self):
+        fp = MemoryFootprint(params=0, grads=0, optimizer=0,
+                             activations=100 * GiB)
+        report = check_capacity(fp, hbm_gib=80)
+        assert not report.feasible_with_offload
+
+    def test_model_state_property(self):
+        fp = MemoryFootprint(params=1, grads=2, optimizer=3, activations=4)
+        assert fp.model_state == 6
+        assert fp.total == 10
+        assert "GiB" in str(fp)
+
+    def test_invalid_capacity_rejected(self):
+        fp = MemoryFootprint(0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            check_capacity(fp, hbm_gib=0)

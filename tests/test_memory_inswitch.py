@@ -1,0 +1,116 @@
+"""Unit tests for in-switch collective communication (paper Fig. 8)."""
+
+import pytest
+
+from repro.memory import HierMemConfig, InSwitchCollectiveMemory, MemoryRequest
+from repro.memory.remote import HierarchicalRemoteMemory
+from repro.trace import CollectiveType, TensorLocation
+
+MiB = 1 << 20
+
+
+def _config(**overrides):
+    params = dict(
+        num_nodes=16,
+        gpus_per_node=16,
+        num_out_switches=4,
+        num_remote_groups=8,
+        mem_side_bw_gbps=400.0,  # group total; 4 out-switch links at 100 each
+        gpu_side_out_bw_gbps=100.0,
+        in_node_bw_gbps=100.0,
+        chunk_bytes=MiB,
+        access_latency_ns=0.0,
+    )
+    params.update(overrides)
+    return HierMemConfig(**params)
+
+
+def _remote(size):
+    return MemoryRequest(size, location=TensorLocation.REMOTE)
+
+
+class TestFig8StageLoads:
+    """In-switch gather changes per-link loads vs. the plain remote model."""
+
+    def test_outsw_to_insw_not_divided_by_nodes(self):
+        config = _config()
+        plain = HierarchicalRemoteMemory(config).stage_times_ns(config.chunk_bytes)
+        gather = InSwitchCollectiveMemory(config).stage_times_ns(config.chunk_bytes)
+        assert gather["outSW2inSW"] == pytest.approx(
+            plain["outSW2inSW"] * config.num_nodes
+        )
+
+    def test_insw_to_gpu_not_divided_by_gpus(self):
+        config = _config()
+        plain = HierarchicalRemoteMemory(config).stage_times_ns(config.chunk_bytes)
+        gather = InSwitchCollectiveMemory(config).stage_times_ns(config.chunk_bytes)
+        assert gather["inSW2GPU"] == pytest.approx(
+            plain["inSW2GPU"] * config.num_gpus
+        )
+
+    def test_mem_side_stage_unchanged(self):
+        config = _config()
+        plain = HierarchicalRemoteMemory(config).stage_times_ns(config.chunk_bytes)
+        gather = InSwitchCollectiveMemory(config).stage_times_ns(config.chunk_bytes)
+        assert gather["rem2outSW"] == plain["rem2outSW"]
+
+    def test_each_gpu_receives_gathered_tensor(self):
+        """Paper example: every in-node switch reconstructs 256W."""
+        config = _config()
+        mem = InSwitchCollectiveMemory(config)
+        w = 4 * MiB
+        beats = mem.num_pipeline_stages(w)
+        per_beat = mem.stage_times_ns(config.chunk_bytes)["inSW2GPU"]
+        delivered = beats * per_beat * config.in_node_bw_gbps
+        assert delivered == pytest.approx(w * config.num_gpus)
+        assert mem.gathered_bytes(w) == w * 256
+
+
+class TestAccessTime:
+    def test_pipeline_critical_path(self):
+        config = _config()
+        mem = InSwitchCollectiveMemory(config)
+        w = 8 * MiB
+        n = mem.num_pipeline_stages(w)
+        stages = mem.stage_times_ns(config.chunk_bytes)
+        expected = sum(stages.values()) + (n - 1) * max(stages.values())
+        assert mem.access_time_ns(_remote(w)) == pytest.approx(expected)
+
+    def test_local_rejected(self):
+        mem = InSwitchCollectiveMemory(_config())
+        with pytest.raises(ValueError):
+            mem.access_time_ns(MemoryRequest(10, location=TensorLocation.LOCAL))
+
+
+class TestFabricCollectives:
+    def test_allreduce_is_two_passes(self):
+        mem = InSwitchCollectiveMemory(_config())
+        payload = 256 * MiB
+        one = mem.collective_time_ns(CollectiveType.ALL_GATHER, payload)
+        two = mem.collective_time_ns(CollectiveType.ALL_REDUCE, payload)
+        assert two == pytest.approx(2 * one)
+
+    def test_rs_equals_ag(self):
+        mem = InSwitchCollectiveMemory(_config())
+        payload = 256 * MiB
+        assert mem.collective_time_ns(
+            CollectiveType.REDUCE_SCATTER, payload
+        ) == pytest.approx(mem.collective_time_ns(CollectiveType.ALL_GATHER, payload))
+
+    def test_alltoall_scales_with_payload(self):
+        mem = InSwitchCollectiveMemory(_config())
+        t1 = mem.alltoall_time_ns(16 * MiB)
+        t2 = mem.alltoall_time_ns(32 * MiB)
+        assert t2 > t1
+
+    def test_alltoall_faster_with_wider_fabric(self):
+        slow = InSwitchCollectiveMemory(_config(in_node_bw_gbps=100.0,
+                                                gpu_side_out_bw_gbps=100.0))
+        fast = InSwitchCollectiveMemory(_config(in_node_bw_gbps=400.0,
+                                                gpu_side_out_bw_gbps=400.0))
+        assert fast.alltoall_time_ns(64 * MiB) < slow.alltoall_time_ns(64 * MiB)
+
+    def test_negative_payload_rejected(self):
+        mem = InSwitchCollectiveMemory(_config())
+        with pytest.raises(ValueError):
+            mem.collective_time_ns(CollectiveType.ALL_GATHER, -1)

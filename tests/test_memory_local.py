@@ -1,0 +1,37 @@
+"""Unit tests for the local HBM model."""
+
+import pytest
+
+from repro.memory import LocalMemory, MemoryRequest
+from repro.trace import TensorLocation
+
+
+def test_latency_plus_bandwidth():
+    mem = LocalMemory(bandwidth_gbps=2000.0, latency_ns=100.0)
+    # 2 MB at 2000 GB/s = 1000 ns, plus 100 ns latency.
+    assert mem.access_time_ns(MemoryRequest(2_000_000)) == pytest.approx(1100.0)
+
+
+def test_zero_size_costs_latency_only():
+    mem = LocalMemory(bandwidth_gbps=2000.0, latency_ns=100.0)
+    assert mem.access_time_ns(MemoryRequest(0)) == pytest.approx(100.0)
+
+
+def test_load_store_symmetric():
+    mem = LocalMemory(bandwidth_gbps=1000.0)
+    assert mem.load_time_ns(4096) == mem.store_time_ns(4096)
+
+
+def test_effective_bandwidth_approaches_peak_for_large_tensors():
+    mem = LocalMemory(bandwidth_gbps=1000.0, latency_ns=100.0)
+    assert mem.effective_bandwidth_gbps(1_000_000_000) == pytest.approx(1000.0, rel=0.01)
+    assert mem.effective_bandwidth_gbps(100) < 500.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LocalMemory(bandwidth_gbps=0)
+    with pytest.raises(ValueError):
+        LocalMemory(bandwidth_gbps=100, latency_ns=-1)
+    with pytest.raises(ValueError):
+        MemoryRequest(-1)

@@ -1,0 +1,170 @@
+"""Unit tests for the analytical network backend."""
+
+import pytest
+
+from repro.events import EventEngine
+from repro.network import AnalyticalNetwork, parse_topology
+
+
+def _backend(notation="Ring(4)_Switch(2)", bws=(100, 50), lats=(100, 500)):
+    engine = EventEngine()
+    topo = parse_topology(notation, list(bws), latencies_ns=list(lats))
+    return engine, AnalyticalNetwork(engine, topo)
+
+
+class TestClosedForm:
+    def test_transfer_time_equation(self):
+        engine, net = _backend()
+        # NPUs 0 -> 1 differ on dim 0 (ring, 1 hop, 100 ns) at 100 GB/s.
+        size = 1_000_000
+        assert net.transfer_time(0, 1, size) == pytest.approx(100 + size / 100)
+
+    def test_hops_multiply_latency(self):
+        engine, net = _backend("Ring(8)", (100,), (100,))
+        # 0 -> 4 is 4 ring hops.
+        assert net.propagation_time(0, 4) == pytest.approx(400)
+
+    def test_switch_counts_two_hops(self):
+        engine, net = _backend()
+        # 0 -> 4 differs on dim 1 (switch): 2 hops x 500 ns.
+        assert net.propagation_time(0, 4) == pytest.approx(1000)
+
+    def test_serialization_uses_dim_bandwidth(self):
+        engine, net = _backend()
+        assert net.serialization_time(500, 1) == pytest.approx(10.0)
+
+
+class TestSendRecv:
+    def test_delivery_fires_recv_callback(self):
+        engine, net = _backend()
+        results = []
+        net.sim_recv(1, 0, 1000, callback=lambda m: results.append(engine.now))
+        net.sim_send(0, 1, 1000)
+        engine.run()
+        assert results == [pytest.approx(100 + 10.0)]
+
+    def test_send_callback_fires_at_serialization_end(self):
+        engine, net = _backend()
+        sent = []
+        net.sim_send(0, 1, 1000, callback=lambda: sent.append(engine.now))
+        engine.run()
+        assert sent == [pytest.approx(10.0)]
+
+    def test_recv_after_arrival_fires_immediately(self):
+        engine, net = _backend()
+        net.sim_send(0, 1, 1000)
+        engine.run()
+        got = []
+        net.sim_recv(1, 0, 1000, callback=lambda m: got.append(m))
+        assert len(got) == 1
+        assert got[0].size_bytes == 1000
+
+    def test_tags_isolate_message_streams(self):
+        engine, net = _backend()
+        got = []
+        net.sim_recv(1, 0, 10, tag=7, callback=lambda m: got.append(("t7", m.tag)))
+        net.sim_send(0, 1, 10, tag=3)
+        net.sim_send(0, 1, 10, tag=7)
+        engine.run()
+        assert got == [("t7", 7)]
+        assert net.undelivered_arrivals() == 1
+
+    def test_fifo_matching_per_key(self):
+        engine, net = _backend()
+        sizes = []
+        net.sim_recv(1, 0, 10, callback=lambda m: sizes.append(m.size_bytes))
+        net.sim_recv(1, 0, 20, callback=lambda m: sizes.append(m.size_bytes))
+        net.sim_send(0, 1, 10)
+        net.sim_send(0, 1, 20)
+        engine.run()
+        assert sizes == [10, 20]
+
+    def test_send_to_self_rejected(self):
+        engine, net = _backend()
+        with pytest.raises(ValueError):
+            net.sim_send(3, 3, 10)
+
+    def test_negative_size_rejected(self):
+        engine, net = _backend()
+        with pytest.raises(ValueError):
+            net.sim_send(0, 1, -5)
+
+    def test_stats_counters(self):
+        engine, net = _backend()
+        net.sim_recv(1, 0, 100, callback=lambda m: None)
+        net.sim_send(0, 1, 100)
+        engine.run()
+        assert net.messages_delivered == 1
+        assert net.bytes_delivered == 100
+
+
+class TestPortSerialization:
+    def test_back_to_back_sends_queue(self):
+        engine, net = _backend("Ring(4)", (100,), (0,))
+        arrivals = []
+        for i in range(3):
+            net.sim_recv(1, 0, 1000, tag=i, callback=lambda m: arrivals.append(engine.now))
+            net.sim_send(0, 1, 1000, tag=i)
+        engine.run()
+        assert arrivals == [pytest.approx(10.0), pytest.approx(20.0), pytest.approx(30.0)]
+
+    def test_different_dims_do_not_contend(self):
+        engine, net = _backend("Ring(4)_Ring(4)", (100, 100), (0, 0))
+        arrivals = {}
+        net.sim_recv(1, 0, 1000, callback=lambda m: arrivals.update(d0=engine.now))
+        net.sim_recv(4, 0, 1000, callback=lambda m: arrivals.update(d1=engine.now))
+        net.sim_send(0, 1, 1000)   # dim 0 port
+        net.sim_send(0, 4, 1000)   # dim 1 port
+        engine.run()
+        assert arrivals["d0"] == pytest.approx(10.0)
+        assert arrivals["d1"] == pytest.approx(10.0)
+
+    def test_reserve_port_advances_backlog(self):
+        engine, net = _backend()
+        start, end = net.reserve_port(0, 0, 100.0)
+        assert (start, end) == (0.0, 100.0)
+        start2, end2 = net.reserve_port(0, 0, 50.0)
+        assert (start2, end2) == (100.0, 150.0)
+        assert net.port_backlog(0, 0) == pytest.approx(150.0)
+        assert net.port_backlog(0, 1) == 0.0
+
+    def test_negative_reserve_rejected(self):
+        engine, net = _backend()
+        with pytest.raises(ValueError):
+            net.reserve_port(0, 0, -1.0)
+
+    def test_port_utilization(self):
+        engine, net = _backend("Ring(4)", (100,), (0,))
+        net.sim_send(0, 1, 1000)
+        engine.run()
+        assert net.port_utilization(0, 0) == pytest.approx(1.0)
+        assert net.port_utilization(1, 0) == 0.0
+
+
+class TestMultiDimPointToPoint:
+    def test_transfer_time_sums_serializations(self):
+        engine, net = _backend("Ring(4)_Switch(2)", (100, 50), (100, 500))
+        # 0 -> 5: coords (0,0) -> (1,1): one ring hop + a switch crossing.
+        size = 1000
+        expected = (100 + 2 * 500) + size / 100 + size / 50
+        assert net.transfer_time(0, 5, size) == pytest.approx(expected)
+
+    def test_delivery_across_two_dims(self):
+        engine, net = _backend("Ring(4)_Switch(2)", (100, 50), (0, 0))
+        got = []
+        net.sim_recv(5, 0, 1000, callback=lambda m: got.append(engine.now))
+        net.sim_send(0, 5, 1000)
+        engine.run()
+        assert got == [pytest.approx(1000 / 100 + 1000 / 50)]
+
+    def test_injection_port_is_first_differing_dim(self):
+        engine, net = _backend("Ring(4)_Switch(2)", (100, 50), (0, 0))
+        net.sim_send(0, 5, 1000)
+        engine.run()
+        assert net.port_utilization(0, 0) > 0
+        assert net.port_backlog(0, 1) == 0.0
+
+    def test_same_npu_rejected(self):
+        engine, net = _backend()
+        with pytest.raises(ValueError):
+            net.sim_send(2, 2, 10)

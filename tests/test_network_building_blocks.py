@@ -1,0 +1,108 @@
+"""Unit tests for the topology building blocks (paper Fig. 3a, Table I)."""
+
+import pytest
+
+from repro.network.building_blocks import (
+    BuildingBlock,
+    alltoall_traffic_fraction,
+    block_from_name,
+    collective_traffic_fraction,
+    hops_between,
+    latency_steps,
+    links_per_npu,
+)
+
+
+class TestAliases:
+    def test_full_names(self):
+        assert block_from_name("Ring") is BuildingBlock.RING
+        assert block_from_name("FullyConnected") is BuildingBlock.FULLY_CONNECTED
+        assert block_from_name("Switch") is BuildingBlock.SWITCH
+
+    def test_short_aliases_case_insensitive(self):
+        assert block_from_name("r") is BuildingBlock.RING
+        assert block_from_name("FC") is BuildingBlock.FULLY_CONNECTED
+        assert block_from_name("sw") is BuildingBlock.SWITCH
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            block_from_name("Torus")
+
+
+class TestCollectiveAlgorithmMapping:
+    """Paper Table I: block -> topology-aware collective algorithm."""
+
+    def test_table1(self):
+        assert BuildingBlock.RING.collective_algorithm == "ring"
+        assert BuildingBlock.FULLY_CONNECTED.collective_algorithm == "direct"
+        assert BuildingBlock.SWITCH.collective_algorithm == "halving_doubling"
+
+
+class TestHops:
+    def test_ring_shortest_path_both_directions(self):
+        assert hops_between(BuildingBlock.RING, 8, 0, 1) == 1
+        assert hops_between(BuildingBlock.RING, 8, 0, 7) == 1
+        assert hops_between(BuildingBlock.RING, 8, 0, 4) == 4
+        assert hops_between(BuildingBlock.RING, 8, 2, 6) == 4
+
+    def test_fc_is_one_hop(self):
+        assert hops_between(BuildingBlock.FULLY_CONNECTED, 16, 3, 12) == 1
+
+    def test_switch_is_two_hops(self):
+        assert hops_between(BuildingBlock.SWITCH, 16, 3, 12) == 2
+
+    def test_same_rank_zero_hops(self):
+        for block in BuildingBlock:
+            assert hops_between(block, 4, 2, 2) == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            hops_between(BuildingBlock.RING, 4, 0, 4)
+
+
+class TestLatencySteps:
+    def test_ring_k_minus_1(self):
+        assert latency_steps(BuildingBlock.RING, 8) == 7
+
+    def test_direct_one_step(self):
+        assert latency_steps(BuildingBlock.FULLY_CONNECTED, 8) == 1
+
+    def test_halving_doubling_log(self):
+        assert latency_steps(BuildingBlock.SWITCH, 8) == 3
+        assert latency_steps(BuildingBlock.SWITCH, 512) == 9
+        assert latency_steps(BuildingBlock.SWITCH, 5) == 3  # ceil(log2(5))
+
+    def test_singleton_dim_no_steps(self):
+        for block in BuildingBlock:
+            assert latency_steps(block, 1) == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            latency_steps(BuildingBlock.RING, 0)
+
+
+class TestTrafficFractions:
+    def test_rs_ag_fraction_is_bandwidth_optimal(self):
+        assert collective_traffic_fraction(2) == 0.5
+        assert collective_traffic_fraction(512) == 511 / 512
+
+    def test_alltoall_direct_on_fc_and_switch(self):
+        for block in (BuildingBlock.FULLY_CONNECTED, BuildingBlock.SWITCH):
+            assert alltoall_traffic_fraction(block, 8) == 7 / 8
+
+    def test_alltoall_relayed_on_ring(self):
+        # Shortest-path relaying: per-link load k/8 of the payload.
+        assert alltoall_traffic_fraction(BuildingBlock.RING, 16) == 2.0
+
+    def test_alltoall_tiny_ring(self):
+        assert alltoall_traffic_fraction(BuildingBlock.RING, 2) == 0.5
+        assert alltoall_traffic_fraction(BuildingBlock.RING, 1) == 0.0
+
+
+class TestLinksPerNpu:
+    def test_counts(self):
+        assert links_per_npu(BuildingBlock.RING, 8) == 2
+        assert links_per_npu(BuildingBlock.RING, 2) == 1
+        assert links_per_npu(BuildingBlock.FULLY_CONNECTED, 8) == 7
+        assert links_per_npu(BuildingBlock.SWITCH, 8) == 1
+        assert links_per_npu(BuildingBlock.RING, 1) == 0

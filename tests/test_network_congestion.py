@@ -1,0 +1,117 @@
+"""Unit tests for the first-order congestion model (oversubscribed fabrics).
+
+The paper lists congestion modeling as the analytical backend's future
+work (Sec. IV-C footnote 5); this implements the first-order version: an
+oversubscribed dimension's shared fabric caps aggregate throughput at
+``size * bandwidth / oversubscription``.
+"""
+
+import pytest
+
+from repro.events import EventEngine
+from repro.network import AnalyticalNetwork, DimSpec, MultiDimTopology
+from repro.network.building_blocks import BuildingBlock
+from repro.network.topology import TopologyError, parse_topology
+
+
+def _switch(size=8, bw=100.0, oversub=1.0):
+    topo = MultiDimTopology([
+        DimSpec(BuildingBlock.SWITCH, size, bw, latency_ns=0.0,
+                oversubscription=oversub)
+    ])
+    engine = EventEngine()
+    return engine, AnalyticalNetwork(engine, topo)
+
+
+class TestDimSpecOversubscription:
+    def test_default_is_nonblocking(self):
+        spec = DimSpec(BuildingBlock.SWITCH, 8, 100.0)
+        assert spec.oversubscription == 1.0
+        assert spec.fabric_bandwidth_gbps == 800.0
+
+    def test_fabric_bandwidth_scales_down(self):
+        spec = DimSpec(BuildingBlock.SWITCH, 8, 100.0, oversubscription=4.0)
+        assert spec.fabric_bandwidth_gbps == 200.0
+
+    def test_below_one_rejected(self):
+        with pytest.raises(TopologyError):
+            DimSpec(BuildingBlock.SWITCH, 8, 100.0, oversubscription=0.5)
+
+
+class TestCongestionBehaviour:
+    def test_nonblocking_fabric_never_engages(self):
+        engine, net = _switch(oversub=1.0)
+        sizes = 1000
+        done = []
+        for i in range(8):
+            src, dst = i, (i + 1) % 8
+            net.sim_recv(dst, src, sizes, tag=i,
+                         callback=lambda m: done.append(engine.now))
+            net.sim_send(src, dst, sizes, tag=i)
+        engine.run()
+        # 8 concurrent flows, each on its own port: all finish together.
+        assert max(done) == pytest.approx(sizes / 100)
+
+    def test_single_flow_unaffected_by_oversubscription(self):
+        # One flow uses 1/8 of capacity even at 4:1 oversubscription
+        # (fabric share = busy * 4 / 8 < busy), so it runs at full rate.
+        for oversub in (1.0, 4.0):
+            engine, net = _switch(oversub=oversub)
+            done = []
+            net.sim_recv(1, 0, 1000, callback=lambda m: done.append(engine.now))
+            net.sim_send(0, 1, 1000)
+            engine.run()
+            assert done[0] == pytest.approx(10.0)
+
+    def test_full_load_throttled_by_fabric(self):
+        # 8 concurrent flows at 4:1 oversubscription: aggregate demand
+        # 800 GB/s against 200 GB/s of fabric -> 4x slower drain.
+        engine, net = _switch(oversub=4.0)
+        done = []
+        for i in range(8):
+            src, dst = i, (i + 1) % 8
+            net.sim_recv(dst, src, 1000, tag=i,
+                         callback=lambda m: done.append(engine.now))
+            net.sim_send(src, dst, 1000, tag=i)
+        engine.run()
+        assert max(done) == pytest.approx(4 * 1000 / 100)
+
+    def test_separate_groups_have_separate_fabrics(self):
+        topo = parse_topology("Switch(4)_Ring(2)", [100, 100],
+                              latencies_ns=[0, 0])
+        # Make dim 0 heavily oversubscribed.
+        dims = list(topo.dims)
+        from dataclasses import replace
+
+        dims[0] = replace(dims[0], oversubscription=4.0)
+        topo = MultiDimTopology(dims)
+        engine = EventEngine()
+        net = AnalyticalNetwork(engine, topo)
+        done = {}
+        # One flow in each dim-0 group (NPUs 0-3 and 4-7): no contention.
+        net.sim_recv(1, 0, 1000, callback=lambda m: done.update(a=engine.now))
+        net.sim_recv(5, 4, 1000, callback=lambda m: done.update(b=engine.now))
+        net.sim_send(0, 1, 1000)
+        net.sim_send(4, 5, 1000)
+        engine.run()
+        assert done["a"] == pytest.approx(done["b"])
+        assert done["a"] == pytest.approx(10.0)
+
+    def test_collective_slowed_on_oversubscribed_dim(self):
+        import repro
+        from repro.workload import generate_single_collective
+
+        results = {}
+        for oversub in (1.0, 4.0):
+            topo = MultiDimTopology([
+                DimSpec(BuildingBlock.SWITCH, 16, 100.0, latency_ns=0.0,
+                        oversubscription=oversub)
+            ])
+            traces = generate_single_collective(
+                topo, repro.CollectiveType.ALL_REDUCE, 1 << 20)
+            config = repro.SystemConfig(topology=topo, scheduler="baseline",
+                                        collective_chunks=8)
+            results[oversub] = repro.simulate(traces, config).total_time_ns
+        # A collective is symmetric: all 16 members load the fabric
+        # simultaneously, so 4:1 oversubscription throttles it ~4x.
+        assert results[4.0] == pytest.approx(4 * results[1.0], rel=0.05)

@@ -1,0 +1,129 @@
+"""Unit tests for the packet-level Garnet-lite backend."""
+
+import pytest
+
+from repro.events import EventEngine
+from repro.network import AnalyticalNetwork, GarnetLiteNetwork, parse_topology
+
+
+def _net(notation="Ring(4)_Ring(4)", bws=(100, 100), lats=(100, 100), packet=1024):
+    engine = EventEngine()
+    topo = parse_topology(notation, list(bws), latencies_ns=list(lats))
+    return engine, GarnetLiteNetwork(engine, topo, packet_bytes=packet)
+
+
+class TestRouting:
+    def test_dimension_order_route_on_torus(self):
+        engine, net = _net()
+        # 0 -> 5: coords (0,0) -> (1,1): dim0 first then dim1.
+        assert net.route(0, 5) == [0, 1, 5]
+
+    def test_ring_takes_shortest_direction(self):
+        engine, net = _net("Ring(8)", (100,), (100,))
+        assert net.route(0, 7) == [0, 7]
+        assert net.route(0, 2) == [0, 1, 2]
+
+    def test_switch_route_via_fabric_node(self):
+        engine, net = _net("Switch(4)", (100,), (100,))
+        path = net.route(0, 3)
+        assert len(path) == 3
+        assert path[0] == 0 and path[-1] == 3
+        assert path[1][0] == "sw"
+
+    def test_fc_is_direct(self):
+        engine, net = _net("FC(6)", (100,), (100,))
+        assert net.route(1, 4) == [1, 4]
+
+
+class TestLinkGraph:
+    def test_ring_link_count(self):
+        engine, net = _net("Ring(4)", (100,), (100,))
+        # 4 NPUs x 2 directed neighbor links.
+        assert net.link_count() == 8
+
+    def test_two_npu_ring_has_one_link_each_way(self):
+        engine, net = _net("Ring(2)", (100,), (100,))
+        assert net.link_count() == 2
+
+    def test_switch_links(self):
+        engine, net = _net("Switch(4)", (100,), (100,))
+        # 4 uplinks + 4 downlinks through the fabric node.
+        assert net.link_count() == 8
+
+    def test_bad_packet_size_rejected(self):
+        engine = EventEngine()
+        topo = parse_topology("Ring(4)", [100])
+        with pytest.raises(ValueError):
+            GarnetLiteNetwork(engine, topo, packet_bytes=0)
+
+
+class TestTransfer:
+    def test_matches_analytical_on_unloaded_single_hop(self):
+        size = 8192
+        engine_a = EventEngine()
+        topo = parse_topology("Ring(4)", [100], latencies_ns=[100])
+        analytical = AnalyticalNetwork(engine_a, topo)
+        t_analytical = analytical.transfer_time(0, 1, size)
+
+        engine_g, garnet = _net("Ring(4)", (100,), (100,), packet=8192)
+        done = []
+        garnet.sim_recv(1, 0, size, callback=lambda m: done.append(engine_g.now))
+        garnet.sim_send(0, 1, size)
+        engine_g.run()
+        assert done[0] == pytest.approx(t_analytical)
+
+    def test_packet_pipelining_beats_store_and_forward(self):
+        # Over 2 hops, many small packets pipeline: faster than 2x full
+        # serialization, slower than 1x.
+        size = 64 * 1024
+        engine, net = _net("Ring(8)", (100,), (0,), packet=1024)
+        done = []
+        net.sim_recv(2, 0, size, callback=lambda m: done.append(engine.now))
+        net.sim_send(0, 2, size)
+        engine.run()
+        one_serialization = size / 100
+        assert one_serialization < done[0] < 2 * one_serialization
+
+    def test_congestion_two_flows_share_a_link(self):
+        # Flows 0->1 and 0->1 (same link) take twice as long as one flow.
+        size = 10240
+        engine, net = _net("Ring(4)", (100,), (0,), packet=1024)
+        done = []
+        net.sim_recv(1, 0, size, tag=0, callback=lambda m: done.append(engine.now))
+        net.sim_recv(1, 0, size, tag=1, callback=lambda m: done.append(engine.now))
+        net.sim_send(0, 1, size, tag=0)
+        net.sim_send(0, 1, size, tag=1)
+        engine.run()
+        assert max(done) == pytest.approx(2 * size / 100, rel=0.05)
+
+    def test_cross_traffic_on_disjoint_links_is_parallel(self):
+        size = 10240
+        engine, net = _net("Ring(4)", (100,), (0,), packet=1024)
+        done = []
+        net.sim_recv(1, 0, size, callback=lambda m: done.append(engine.now))
+        net.sim_recv(3, 2, size, callback=lambda m: done.append(engine.now))
+        net.sim_send(0, 1, size)
+        net.sim_send(2, 3, size)
+        engine.run()
+        assert max(done) == pytest.approx(size / 100, rel=0.05)
+
+    def test_packet_hop_count_grows_with_distance(self):
+        engine, net = _net("Ring(8)", (100,), (0,), packet=1024)
+        net.sim_recv(3, 0, 4096, callback=lambda m: None)
+        net.sim_send(0, 3, 4096)
+        engine.run()
+        assert net.packet_hops == 4 * 3  # 4 packets x 3 hops
+
+    def test_on_sent_fires_after_first_link_serialization(self):
+        engine, net = _net("Ring(8)", (100,), (0,), packet=1024)
+        sent = []
+        net.sim_send(0, 2, 4096, callback=lambda: sent.append(engine.now))
+        engine.run()
+        assert sent[0] == pytest.approx(4096 / 100)
+
+    def test_max_link_bytes_tracks_heaviest_link(self):
+        engine, net = _net("Ring(4)", (100,), (0,), packet=1024)
+        net.sim_recv(1, 0, 2048, callback=lambda m: None)
+        net.sim_send(0, 1, 2048)
+        engine.run()
+        assert net.max_link_bytes() == 2048

@@ -1,0 +1,154 @@
+"""Unit tests for the multi-dimensional topology representation."""
+
+import pytest
+
+from repro.network import BuildingBlock, DimSpec, MultiDimTopology, TopologyError, parse_topology
+
+
+def _conv4d():
+    return parse_topology(
+        "Ring(2)_FC(8)_Ring(8)_Switch(4)", [250, 200, 100, 50]
+    )
+
+
+class TestParser:
+    def test_paper_notation(self):
+        topo = _conv4d()
+        assert topo.shape == (2, 8, 8, 4)
+        assert topo.num_npus == 512
+        assert [d.block for d in topo.dims] == [
+            BuildingBlock.RING, BuildingBlock.FULLY_CONNECTED,
+            BuildingBlock.RING, BuildingBlock.SWITCH,
+        ]
+        assert [d.bandwidth_gbps for d in topo.dims] == [250, 200, 100, 50]
+
+    def test_notation_roundtrip(self):
+        topo = _conv4d()
+        again = parse_topology(topo.notation(), [d.bandwidth_gbps for d in topo.dims])
+        assert again.shape == topo.shape
+
+    def test_aliases_in_notation(self):
+        topo = parse_topology("r(4)_sw(2)", [10, 10])
+        assert topo.dims[0].block is BuildingBlock.RING
+        assert topo.dims[1].block is BuildingBlock.SWITCH
+
+    def test_bandwidth_count_mismatch_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_topology("Ring(4)_Ring(4)", [10])
+
+    def test_latency_count_mismatch_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_topology("Ring(4)", [10], latencies_ns=[1, 2])
+
+    def test_malformed_dim_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_topology("Ring[4]", [10])
+        with pytest.raises(TopologyError):
+            parse_topology("", [])
+
+    def test_custom_latencies(self):
+        topo = parse_topology("Ring(4)_Switch(2)", [10, 10],
+                              latencies_ns=[100, 700])
+        assert topo.dims[0].latency_ns == 100
+        assert topo.dims[1].latency_ns == 700
+
+
+class TestDimSpec:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(TopologyError):
+            DimSpec(BuildingBlock.RING, 0, 10)
+        with pytest.raises(TopologyError):
+            DimSpec(BuildingBlock.RING, 4, 0)
+        with pytest.raises(TopologyError):
+            DimSpec(BuildingBlock.RING, 4, 10, latency_ns=-1)
+
+
+class TestCoordinates:
+    def test_dim0_varies_fastest(self):
+        topo = _conv4d()
+        assert topo.coords(0) == (0, 0, 0, 0)
+        assert topo.coords(1) == (1, 0, 0, 0)
+        assert topo.coords(2) == (0, 1, 0, 0)
+        assert topo.coords(511) == (1, 7, 7, 3)
+
+    def test_roundtrip_all_npus(self):
+        topo = parse_topology("Ring(3)_FC(4)_Switch(5)", [1, 1, 1])
+        for npu in range(topo.num_npus):
+            assert topo.npu_id(topo.coords(npu)) == npu
+
+    def test_out_of_range_rejected(self):
+        topo = _conv4d()
+        with pytest.raises(TopologyError):
+            topo.coords(512)
+        with pytest.raises(TopologyError):
+            topo.npu_id((2, 0, 0, 0))
+        with pytest.raises(TopologyError):
+            topo.npu_id((0, 0, 0))
+
+
+class TestGroups:
+    def test_dim_group_members(self):
+        topo = _conv4d()
+        group = topo.dim_group(0, 0)
+        assert group == (0, 1)
+        group1 = topo.dim_group(0, 1)
+        assert group1 == tuple(2 * i for i in range(8))
+
+    def test_group_across_dims_is_product(self):
+        topo = _conv4d()
+        group = topo.group_across_dims(0, (0, 1))
+        assert len(group) == 16
+        assert group == tuple(range(16))
+
+    def test_group_across_outer_dims(self):
+        topo = _conv4d()
+        group = topo.group_across_dims(0, (2, 3))
+        assert len(group) == 32
+        assert 0 in group
+
+    def test_group_contains_origin(self):
+        topo = _conv4d()
+        for dims in [(0,), (1, 2), (0, 3)]:
+            assert 5 in topo.group_across_dims(5, dims)
+
+    def test_bad_dim_rejected(self):
+        topo = _conv4d()
+        with pytest.raises(TopologyError):
+            topo.dim_group(0, 4)
+
+
+class TestHopsAndRouting:
+    def test_hops_sum_over_dims(self):
+        topo = _conv4d()
+        # coords (1,0,0,0): 1 ring hop; (0,1,0,0): 1 fc hop
+        assert topo.hops(0, 1) == 1
+        assert topo.hops(0, 2) == 1
+        # differ in switch dim: 2 hops
+        assert topo.hops(0, 128) == 2
+
+    def test_shared_dim(self):
+        topo = _conv4d()
+        assert topo.shared_dim(0, 1) == 0
+        assert topo.shared_dim(0, 2) == 1
+        with pytest.raises(TopologyError):
+            topo.shared_dim(0, 3)  # differs in dims 0 and 1
+        with pytest.raises(TopologyError):
+            topo.shared_dim(0, 0)
+
+
+class TestAggregates:
+    def test_total_bandwidth(self):
+        assert _conv4d().total_bandwidth_gbps() == 600
+
+    def test_singleton_dims_excluded_from_bandwidth(self):
+        topo = parse_topology("Ring(1)_Switch(4)", [999, 50])
+        assert topo.total_bandwidth_gbps() == 50
+
+    def test_total_links(self):
+        topo = parse_topology("Ring(4)_Switch(2)", [10, 10])
+        # 2 ring groups x 4 NPUs x 2 links + 4 switch groups x 2 x 1 uplink
+        assert topo.total_links() == 16 + 8
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(TopologyError):
+            MultiDimTopology([])

@@ -1,0 +1,124 @@
+"""Unit tests for exposed-time accounting."""
+
+import pytest
+
+from repro.stats import Activity, ActivityLog, Breakdown, compute_breakdown
+
+
+class TestComputeBreakdown:
+    def test_disjoint_intervals(self):
+        intervals = [
+            (0, 10, Activity.COMPUTE),
+            (10, 15, Activity.COMM),
+        ]
+        b = compute_breakdown(intervals, 20)
+        assert b.compute_ns == 10
+        assert b.exposed_comm_ns == 5
+        assert b.idle_ns == 5
+        assert b.total_ns == 20
+
+    def test_comm_hidden_under_compute(self):
+        intervals = [
+            (0, 10, Activity.COMPUTE),
+            (0, 10, Activity.COMM),
+        ]
+        b = compute_breakdown(intervals, 10)
+        assert b.compute_ns == 10
+        assert b.exposed_comm_ns == 0
+
+    def test_partially_exposed_comm(self):
+        intervals = [
+            (0, 10, Activity.COMPUTE),
+            (5, 20, Activity.COMM),
+        ]
+        b = compute_breakdown(intervals, 20)
+        assert b.compute_ns == 10
+        assert b.exposed_comm_ns == 10
+
+    def test_priority_order_full_stack(self):
+        intervals = [
+            (0, 4, Activity.COMM),
+            (0, 3, Activity.MEM_REMOTE),
+            (0, 2, Activity.MEM_LOCAL),
+            (0, 1, Activity.COMPUTE),
+        ]
+        b = compute_breakdown(intervals, 4)
+        assert b.compute_ns == 1
+        assert b.exposed_mem_local_ns == 1
+        assert b.exposed_mem_remote_ns == 1
+        assert b.exposed_comm_ns == 1
+        assert b.idle_ns == 0
+
+    def test_overlapping_same_activity_not_double_counted(self):
+        intervals = [
+            (0, 10, Activity.COMM),
+            (5, 15, Activity.COMM),
+        ]
+        b = compute_breakdown(intervals, 15)
+        assert b.exposed_comm_ns == 15
+
+    def test_empty_intervals_all_idle(self):
+        b = compute_breakdown([], 100)
+        assert b.idle_ns == 100
+        assert b.compute_ns == 0
+
+    def test_exposure_sums_to_total(self):
+        intervals = [
+            (0, 7, Activity.COMPUTE),
+            (3, 12, Activity.MEM_LOCAL),
+            (5, 20, Activity.COMM),
+            (25, 30, Activity.MEM_REMOTE),
+        ]
+        total = 35
+        b = compute_breakdown(intervals, total)
+        covered = sum(b.exposed_ns.values())
+        assert covered + b.idle_ns == pytest.approx(total)
+
+    def test_fraction(self):
+        b = compute_breakdown([(0, 5, Activity.COMPUTE)], 10)
+        assert b.fraction(Activity.COMPUTE) == 0.5
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            compute_breakdown([], -1)
+
+
+class TestActivityLog:
+    def test_record_and_breakdown_per_npu(self):
+        log = ActivityLog()
+        log.record(0, 0, 10, Activity.COMPUTE)
+        log.record(1, 0, 4, Activity.COMM)
+        assert log.npus() == [0, 1]
+        assert log.breakdown(0, 10).compute_ns == 10
+        assert log.breakdown(1, 10).exposed_comm_ns == 4
+
+    def test_zero_length_interval_ignored(self):
+        log = ActivityLog()
+        log.record(0, 5, 5, Activity.COMPUTE)
+        assert log.intervals(0) == []
+
+    def test_backwards_interval_rejected(self):
+        log = ActivityLog()
+        with pytest.raises(ValueError):
+            log.record(0, 10, 5, Activity.COMPUTE)
+
+    def test_merged_breakdown_averages(self):
+        log = ActivityLog()
+        log.record(0, 0, 10, Activity.COMPUTE)
+        log.record(1, 0, 0.0001, Activity.COMPUTE)
+        merged = log.merged_breakdown(10)
+        assert merged.compute_ns == pytest.approx(5, rel=0.01)
+
+
+class TestBreakdownMerge:
+    def test_merge_empty(self):
+        merged = Breakdown.merge([])
+        assert merged.total_ns == 0
+
+    def test_merge_averages_each_component(self):
+        a = compute_breakdown([(0, 4, Activity.COMPUTE)], 10)
+        b = compute_breakdown([(0, 6, Activity.COMM)], 10)
+        merged = Breakdown.merge([a, b])
+        assert merged.compute_ns == 2
+        assert merged.exposed_comm_ns == 3
+        assert merged.idle_ns == pytest.approx((6 + 4) / 2)

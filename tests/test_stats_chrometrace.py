@@ -1,0 +1,77 @@
+"""Unit tests for Chrome-trace export."""
+
+import json
+
+import pytest
+
+import repro
+from repro.stats import Activity, ActivityLog
+from repro.stats.chrometrace import dump_chrome_trace, to_chrome_trace
+from repro.workload import ParallelismSpec, generate_pipeline_parallel
+from repro.workload.models import TransformerSpec
+
+
+def _log():
+    log = ActivityLog()
+    log.record(0, 100, 200, Activity.COMPUTE, "fwd.L0")
+    log.record(0, 200, 500, Activity.COMM, "gradAR")
+    log.record(3, 0, 50, Activity.MEM_REMOTE, "paramLoad")
+    return log
+
+
+class TestToChromeTrace:
+    def test_event_structure(self):
+        doc = to_chrome_trace(_log())
+        events = doc["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 3
+        fwd = next(e for e in spans if e["name"] == "fwd.L0")
+        assert fwd["ts"] == pytest.approx(0.1)   # 100 ns -> 0.1 us
+        assert fwd["dur"] == pytest.approx(0.1)
+        assert fwd["tid"] == 0
+        assert fwd["cat"] == "compute"
+
+    def test_thread_metadata_per_npu(self):
+        doc = to_chrome_trace(_log())
+        names = [e for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert {e["tid"] for e in names} == {0, 3}
+
+    def test_unlabeled_intervals_fall_back_to_activity_name(self):
+        log = ActivityLog()
+        log.record(0, 0, 10, Activity.COMM)
+        doc = to_chrome_trace(log)
+        span = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert span["name"] == "comm"
+
+    def test_npu_filter(self):
+        doc = to_chrome_trace(_log(), npus=[3])
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 1
+        assert spans[0]["tid"] == 3
+
+    def test_file_dump_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        dump_chrome_trace(_log(), path, process_name="unit-test")
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        meta = doc["traceEvents"][0]
+        assert meta["args"]["name"] == "unit-test"
+
+
+class TestEndToEndExport:
+    def test_pipeline_run_exports_named_spans(self, tmp_path):
+        topo = repro.parse_topology("Ring(4)_Switch(2)", [100, 50])
+        model = TransformerSpec("t", num_layers=4, hidden=64, seq_len=32)
+        traces = generate_pipeline_parallel(
+            model, topo, ParallelismSpec(pp=4, dp=2), microbatches=2)
+        result = repro.simulate(traces, repro.SystemConfig(topology=topo))
+        doc = to_chrome_trace(result.activity)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in spans}
+        assert any("fwd.s0" in n for n in names)
+        assert any("gradAR" in n for n in names)
+        # Spans never exceed the simulated horizon.
+        horizon_us = result.total_time_ns / 1e3
+        assert all(e["ts"] + e["dur"] <= horizon_us * (1 + 1e-9)
+                   for e in spans)

@@ -1,0 +1,34 @@
+"""Unit tests for table rendering."""
+
+from repro.stats import Activity, compute_breakdown, format_breakdown_table, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, 2 rows
+    assert lines[0].startswith("name")
+    assert "---" in lines[1]
+    # Columns align: 'value' column starts at the same offset everywhere.
+    offset = lines[0].index("value")
+    assert lines[2][offset - 2: offset].strip() == ""
+
+
+def test_format_breakdown_table_contains_all_components():
+    b = compute_breakdown(
+        [(0, 1e6, Activity.COMPUTE), (1e6, 3e6, Activity.COMM)], 4e6
+    )
+    text = format_breakdown_table({"sysA": b})
+    assert "sysA" in text
+    assert "compute" in text
+    assert "exp.comm" in text
+    assert "idle" in text
+    assert "1.000" in text  # compute ms
+    assert "2.000" in text  # comm ms
+
+
+def test_format_breakdown_table_ns_units():
+    b = compute_breakdown([(0, 100, Activity.COMPUTE)], 100)
+    text = format_breakdown_table({"x": b}, unit_ms=False)
+    assert "(ns)" in text
+    assert "100.000" in text

@@ -1,0 +1,119 @@
+"""Unit tests for timeline rendering and the Fig. 3(c) system catalog."""
+
+import pytest
+
+import repro
+from repro.configs.systems import (
+    dgx_a100_cluster,
+    dragonfly,
+    tpu_v4_pod,
+    wafer_cluster,
+    wafer_scale,
+)
+from repro.network import BuildingBlock
+from repro.stats import Activity, ActivityLog, render_timeline, utilization_by_npu
+from repro.workload import ParallelismSpec, generate_pipeline_parallel
+from repro.workload.models import TransformerSpec
+
+
+class TestSystemCatalog:
+    def test_dgx_cluster_shape(self):
+        topo = dgx_a100_cluster(16)
+        assert topo.shape == (8, 16)
+        assert topo.num_npus == 128
+        assert topo.dims[0].block is BuildingBlock.SWITCH
+        assert topo.dims[0].bandwidth_gbps == 300.0
+        assert topo.dims[1].bandwidth_gbps == 25.0
+
+    def test_tpu_v4_is_3d_torus(self):
+        topo = tpu_v4_pod(4, 4, 4)
+        assert topo.num_npus == 64
+        assert all(d.block is BuildingBlock.RING for d in topo.dims)
+        assert all(d.bandwidth_gbps == 56.0 for d in topo.dims)
+
+    def test_dragonfly_matches_paper_example(self):
+        """Fig. 3c: FC(4)_FC(2)_FC(2) is a fully-populated DragonFly."""
+        topo = dragonfly(routers_per_group=4, groups=2, npus_per_router=2)
+        assert topo.shape == (2, 4, 2)
+        assert all(d.block is BuildingBlock.FULLY_CONNECTED for d in topo.dims)
+
+    def test_wafer_variants(self):
+        assert wafer_scale(512).num_npus == 512
+        cluster = wafer_cluster(512, 4)
+        assert cluster.num_npus == 2048
+        assert cluster.dims[0].bandwidth_gbps == 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dgx_a100_cluster(0)
+        with pytest.raises(ValueError):
+            tpu_v4_pod(0, 4, 4)
+        with pytest.raises(ValueError):
+            dragonfly(0, 1)
+        with pytest.raises(ValueError):
+            wafer_scale(0)
+
+    def test_systems_are_simulatable(self):
+        for topo in (dgx_a100_cluster(4), tpu_v4_pod(2, 2, 2),
+                     dragonfly(2, 2), wafer_scale(16)):
+            traces = repro.generate_single_collective(
+                topo, repro.CollectiveType.ALL_REDUCE, 1 << 24)
+            result = repro.simulate(
+                traces, repro.SystemConfig(topology=topo))
+            assert result.total_time_ns > 0
+
+
+class TestTimeline:
+    def _log(self):
+        log = ActivityLog()
+        log.record(0, 0, 50, Activity.COMPUTE)
+        log.record(0, 50, 100, Activity.COMM)
+        log.record(1, 25, 75, Activity.MEM_REMOTE)
+        return log
+
+    def test_render_shape(self):
+        text = render_timeline(self._log(), total_ns=100, width=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("timeline:")
+        assert lines[1] == "npu 0 |#####~~~~~|"
+        # Columns touched by [25, 75) at 10 ns/col: 2 through 7 inclusive.
+        assert lines[2] == "npu 1 |..RRRRRR..|"
+        assert "legend" in lines[-1]
+
+    def test_priority_in_overlaps(self):
+        log = ActivityLog()
+        log.record(0, 0, 100, Activity.COMM)
+        log.record(0, 0, 50, Activity.COMPUTE)
+        text = render_timeline(log, total_ns=100, width=10)
+        assert "|#####~~~~~|" in text
+
+    def test_npus_filter(self):
+        text = render_timeline(self._log(), total_ns=100, width=10, npus=[1])
+        assert "npu 0" not in text
+        assert "npu 1" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_timeline(self._log(), total_ns=0)
+        with pytest.raises(ValueError):
+            render_timeline(self._log(), total_ns=10, width=0)
+
+    def test_utilization_sums_to_one(self):
+        util = utilization_by_npu(self._log(), total_ns=100)
+        for npu, fractions in util.items():
+            assert sum(fractions.values()) == pytest.approx(1.0)
+        assert util[0]["compute"] == pytest.approx(0.5)
+        assert util[1]["mem_remote"] == pytest.approx(0.5)
+
+    def test_pipeline_bubbles_visible_end_to_end(self):
+        """The canonical use: see GPipe bubbles in the timeline."""
+        topo = repro.parse_topology("Ring(4)_Switch(2)", [100, 50])
+        model = TransformerSpec("t", num_layers=4, hidden=64, seq_len=32)
+        traces = generate_pipeline_parallel(
+            model, topo, ParallelismSpec(pp=4, dp=2), microbatches=2)
+        result = repro.simulate(traces, repro.SystemConfig(topology=topo))
+        assert result.activity is not None
+        text = render_timeline(result.activity, result.total_time_ns, width=40)
+        # One row per stage representative plus header and legend.
+        assert len(text.splitlines()) == len(traces) + 2
+        assert "." in text  # bubbles exist

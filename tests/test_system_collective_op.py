@@ -1,0 +1,158 @@
+"""Unit tests for the chunked collective operation."""
+
+import pytest
+
+from repro.events import EventEngine
+from repro.network import AnalyticalNetwork, parse_topology
+from repro.system import CollectiveOperation, make_scheduler
+from repro.system.phases import PhaseKind, phase_duration_ns
+from repro.trace import CollectiveType
+
+MiB = 1 << 20
+GiB = 1 << 30
+
+
+def _run_collective(topo_str, bws, payload, collective=CollectiveType.ALL_REDUCE,
+                    scheduler="baseline", chunks=1, dims=None, lats=None):
+    engine = EventEngine()
+    topo = parse_topology(topo_str, bws, latencies_ns=lats or [0] * len(bws))
+    net = AnalyticalNetwork(engine, topo)
+    op = CollectiveOperation(
+        engine=engine,
+        network=net,
+        scheduler=make_scheduler(scheduler),
+        collective=collective,
+        comm_dims=dims if dims is not None else range(topo.num_dims),
+        rep_npu=0,
+        payload_bytes=payload,
+        num_chunks=chunks,
+    )
+    op.start()
+    engine.run()
+    return op
+
+
+class TestSingleDimension:
+    def test_allreduce_matches_closed_form(self):
+        # Ring(4) @100 GB/s, zero latency: 2 * 3/4 * S / 100.
+        op = _run_collective("Ring(4)", [100], 1000)
+        assert op.duration_ns == pytest.approx(2 * 750 / 100)
+
+    def test_latency_steps_included(self):
+        op = _run_collective("Ring(4)", [100], 1000, lats=[500])
+        # RS: 3 steps, AG: 3 steps -> 6 * 500 latency on top.
+        assert op.duration_ns == pytest.approx(2 * 750 / 100 + 6 * 500)
+
+    def test_allgather_single_pass(self):
+        op = _run_collective("Ring(4)", [100], 1000,
+                             collective=CollectiveType.ALL_GATHER)
+        # Gathered 1000 -> traffic 750 per NPU, one pass.
+        assert op.duration_ns == pytest.approx(750 / 100)
+
+    def test_alltoall_direct_on_switch(self):
+        op = _run_collective("Switch(4)", [100], 1000,
+                             collective=CollectiveType.ALL_TO_ALL)
+        assert op.duration_ns == pytest.approx(750 / 100)
+
+
+class TestChunking:
+    def test_single_chunk_is_sequential_sum(self):
+        engine = EventEngine()
+        topo = parse_topology("Ring(4)_FC(4)", [100, 50], latencies_ns=[0, 0])
+        from repro.system.phases import decompose_collective
+
+        plan = decompose_collective(CollectiveType.ALL_REDUCE, topo, (0, 1), GiB)
+        op = _run_collective("Ring(4)_FC(4)", [100, 50], GiB, chunks=1)
+        assert op.duration_ns == pytest.approx(plan.total_duration_ns(topo))
+
+    def test_more_chunks_pipeline_toward_max_dim(self):
+        times = {
+            chunks: _run_collective("Ring(4)_FC(4)", [100, 50], GiB,
+                                    chunks=chunks).duration_ns
+            for chunks in (1, 4, 16, 64)
+        }
+        assert times[4] < times[1]
+        assert times[16] <= times[4] * (1 + 1e-9)
+        assert times[64] <= times[16] * (1 + 1e-9)
+        # Bottleneck dim 0: Ring(4) at 100 GB/s sees 2 * S * 3/4 traffic.
+        bottleneck = 2 * GiB * 0.75 / 100
+        assert times[64] == pytest.approx(bottleneck, rel=0.15)
+
+    def test_traffic_independent_of_chunk_count(self):
+        t1 = _run_collective("Ring(2)_FC(8)", [100, 100], GiB, chunks=1).traffic_by_dim
+        t16 = _run_collective("Ring(2)_FC(8)", [100, 100], GiB, chunks=16).traffic_by_dim
+        for d in t1:
+            assert t1[d] == pytest.approx(t16[d])
+
+    def test_invalid_chunks_rejected(self):
+        engine = EventEngine()
+        topo = parse_topology("Ring(4)", [100])
+        net = AnalyticalNetwork(engine, topo)
+        with pytest.raises(ValueError):
+            CollectiveOperation(engine, net, make_scheduler("baseline"),
+                                CollectiveType.ALL_REDUCE, (0,), 0, 100,
+                                num_chunks=0)
+
+
+class TestDegenerateCases:
+    def test_all_singleton_dims_complete_immediately(self):
+        op = _run_collective("Ring(1)_Ring(1)", [100, 100], 1000)
+        assert op.duration_ns == 0.0
+        assert op.group_size == 1
+
+    def test_zero_payload_completes(self):
+        op = _run_collective("Ring(4)", [100], 0)
+        assert op.duration_ns == 0.0
+
+    def test_subset_dims_only(self):
+        op = _run_collective("Ring(4)_FC(8)", [100, 100], 1000, dims=[1])
+        assert op.group_size == 8
+        # All-Reduce: RS + AG both move 875 bytes on the dim.
+        assert op.traffic_by_dim == {1: pytest.approx(1750)}
+
+    def test_double_start_rejected(self):
+        engine = EventEngine()
+        topo = parse_topology("Ring(4)", [100])
+        net = AnalyticalNetwork(engine, topo)
+        op = CollectiveOperation(engine, net, make_scheduler("baseline"),
+                                 CollectiveType.ALL_REDUCE, (0,), 0, 100)
+        op.start()
+        with pytest.raises(RuntimeError):
+            op.start()
+
+    def test_duration_before_completion_rejected(self):
+        engine = EventEngine()
+        topo = parse_topology("Ring(4)", [100])
+        net = AnalyticalNetwork(engine, topo)
+        op = CollectiveOperation(engine, net, make_scheduler("baseline"),
+                                 CollectiveType.ALL_REDUCE, (0,), 0, 100)
+        with pytest.raises(RuntimeError):
+            _ = op.duration_ns
+
+
+class TestThemisVsBaseline:
+    def test_themis_not_slower_on_unbalanced_topology(self):
+        base = _run_collective(
+            "Ring(2)_FC(8)_Ring(8)_Switch(4)", [1000, 200, 100, 50], GiB,
+            scheduler="baseline", chunks=32).duration_ns
+        themis = _run_collective(
+            "Ring(2)_FC(8)_Ring(8)_Switch(4)", [1000, 200, 100, 50], GiB,
+            scheduler="themis", chunks=32).duration_ns
+        assert themis <= base
+
+    def test_one_dim_schedulers_identical(self):
+        base = _run_collective("Switch(16)", [100], GiB,
+                               scheduler="baseline", chunks=16).duration_ns
+        themis = _run_collective("Switch(16)", [100], GiB,
+                                 scheduler="themis", chunks=16).duration_ns
+        assert base == pytest.approx(themis)
+
+    def test_allreduce_correctness_ag_replays_rs_order_reversed(self):
+        # With Themis the per-chunk AG order must mirror its RS order; the
+        # total per-dim traffic is then order-independent in aggregate.
+        op = _run_collective(
+            "Ring(2)_FC(8)", [100, 100], GiB, scheduler="themis", chunks=8)
+        total = sum(op.traffic_by_dim.values())
+        # Every chunk moves 2 * S_chunk * (1 - 1/16) in total across dims,
+        # regardless of the order it picked.
+        assert total == pytest.approx(2 * GiB * (1 - 1 / 16), rel=1e-6)

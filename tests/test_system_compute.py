@@ -1,0 +1,47 @@
+"""Unit tests for the roofline compute model."""
+
+import pytest
+
+from repro.system import RooflineCompute
+
+
+class TestRoofline:
+    def test_compute_bound(self):
+        # 234 TFLOP/s = 234e3 FLOP/ns.
+        model = RooflineCompute(peak_tflops=234.0, mem_bandwidth_gbps=2039.0)
+        flops = 234_000_000  # 1000 ns of compute
+        assert model.compute_time_ns(flops, tensor_bytes=0) == pytest.approx(1000.0)
+
+    def test_memory_bound(self):
+        model = RooflineCompute(peak_tflops=234.0, mem_bandwidth_gbps=100.0)
+        # 1 FLOP but 1e6 bytes: memory arm dominates.
+        assert model.compute_time_ns(1, tensor_bytes=1_000_000) == pytest.approx(10000.0)
+
+    def test_max_of_both_arms(self):
+        model = RooflineCompute(peak_tflops=1.0, mem_bandwidth_gbps=1.0)
+        t = model.compute_time_ns(5000, tensor_bytes=3000)
+        assert t == pytest.approx(max(5000 / 1e3, 3000 / 1.0))
+
+    def test_kernel_overhead_added(self):
+        model = RooflineCompute(peak_tflops=1.0, kernel_overhead_ns=42.0)
+        assert model.compute_time_ns(0) == pytest.approx(42.0)
+
+    def test_no_memory_arm_when_unset(self):
+        model = RooflineCompute(peak_tflops=1.0)
+        assert model.compute_time_ns(0, tensor_bytes=10**12) == 0.0
+
+    def test_intensity_break(self):
+        model = RooflineCompute(peak_tflops=1.0, mem_bandwidth_gbps=500.0)
+        assert model.operational_intensity_break() == pytest.approx(2.0)
+        assert RooflineCompute(peak_tflops=1.0).operational_intensity_break() == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RooflineCompute(peak_tflops=0)
+        with pytest.raises(ValueError):
+            RooflineCompute(peak_tflops=1, mem_bandwidth_gbps=-1)
+        with pytest.raises(ValueError):
+            RooflineCompute(peak_tflops=1, kernel_overhead_ns=-1)
+        model = RooflineCompute(peak_tflops=1)
+        with pytest.raises(ValueError):
+            model.compute_time_ns(-1)

@@ -1,0 +1,85 @@
+"""Unit tests for the send/recv collective executor."""
+
+import pytest
+
+from repro.events import EventEngine
+from repro.network import AnalyticalNetwork, GarnetLiteNetwork, parse_topology
+from repro.system import SendRecvCollectiveExecutor
+
+
+def _run(backend_cls, group, payload, notation="Ring(4)", bws=(150,),
+         lats=(100,), gather_only=False, **backend_kwargs):
+    engine = EventEngine()
+    topo = parse_topology(notation, list(bws), latencies_ns=list(lats))
+    net = backend_cls(engine, topo, **backend_kwargs)
+    executor = SendRecvCollectiveExecutor(engine, net)
+    result = {}
+    if gather_only:
+        executor.run_ring_allgather(group, payload,
+                                    on_complete=lambda t: result.update(t=t))
+    else:
+        executor.run_ring_allreduce(group, payload,
+                                    on_complete=lambda t: result.update(t=t))
+    engine.run()
+    return result["t"]
+
+
+class TestRingAllReduce:
+    def test_matches_closed_form_on_analytical(self):
+        payload = 1 << 20
+        t = _run(AnalyticalNetwork, [0, 1, 2, 3], payload)
+        chunk = payload // 4
+        expected = 2 * 3 * (100 + chunk / 150)
+        assert t == pytest.approx(expected)
+
+    def test_backends_agree_on_congestion_free_ring(self):
+        payload = 1 << 20
+        t_analytical = _run(AnalyticalNetwork, [0, 1, 2, 3], payload)
+        t_garnet = _run(GarnetLiteNetwork, [0, 1, 2, 3], payload,
+                        packet_bytes=payload // 4)
+        assert t_garnet == pytest.approx(t_analytical, rel=1e-9)
+
+    def test_time_scales_with_group_size(self):
+        payload = 1 << 20
+        t4 = _run(AnalyticalNetwork, list(range(4)), payload,
+                  notation="Ring(16)", bws=(150,))
+        t16 = _run(AnalyticalNetwork, list(range(16)), payload,
+                   notation="Ring(16)", bws=(150,))
+        # 2(k-1)/k * S serialization: grows with k (and latency steps too).
+        assert t16 > t4
+
+    def test_trivial_group_completes_at_zero(self):
+        t = _run(AnalyticalNetwork, [0], 1 << 20)
+        assert t == 0.0
+
+    def test_duplicate_group_rejected(self):
+        engine = EventEngine()
+        topo = parse_topology("Ring(4)", [150])
+        executor = SendRecvCollectiveExecutor(engine, AnalyticalNetwork(engine, topo))
+        with pytest.raises(ValueError):
+            executor.run_ring_allreduce([0, 0, 1], 100)
+
+
+class TestRingAllGather:
+    def test_half_the_steps_of_allreduce(self):
+        payload = 1 << 20
+        t_ar = _run(AnalyticalNetwork, [0, 1, 2, 3], payload)
+        t_ag = _run(AnalyticalNetwork, [0, 1, 2, 3], payload, gather_only=True)
+        assert t_ag == pytest.approx(t_ar / 2)
+
+
+class TestConcurrentCollectives:
+    def test_tag_isolation_between_runs(self):
+        engine = EventEngine()
+        topo = parse_topology("Ring(8)", [150], latencies_ns=[100])
+        net = AnalyticalNetwork(engine, topo)
+        executor = SendRecvCollectiveExecutor(engine, net)
+        done = []
+        executor.run_ring_allreduce([0, 1, 2, 3], 1 << 16,
+                                    on_complete=lambda t: done.append(("a", t)))
+        executor.run_ring_allreduce([4, 5, 6, 7], 1 << 16,
+                                    on_complete=lambda t: done.append(("b", t)))
+        engine.run()
+        assert len(done) == 2
+        # Disjoint rings on disjoint links: identical times.
+        assert done[0][1] == pytest.approx(done[1][1])

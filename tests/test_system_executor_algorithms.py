@@ -1,0 +1,136 @@
+"""Unit tests for the Direct and Halving-Doubling executors (Table I)."""
+
+import pytest
+
+from repro.events import EventEngine
+from repro.network import AnalyticalNetwork, GarnetLiteNetwork, parse_topology
+from repro.system import SendRecvCollectiveExecutor
+
+
+def _run(algorithm, backend_cls, group, payload, notation, bws, lats,
+         **backend_kwargs):
+    engine = EventEngine()
+    topo = parse_topology(notation, list(bws), latencies_ns=list(lats))
+    net = backend_cls(engine, topo, **backend_kwargs)
+    executor = SendRecvCollectiveExecutor(engine, net)
+    result = {}
+    getattr(executor, algorithm)(group, payload,
+                                 on_complete=lambda t: result.update(t=t))
+    engine.run()
+    return result["t"]
+
+
+class TestDirectAllReduce:
+    def test_bandwidth_term_matches_phase_model(self):
+        """RS + AG each serialize payload*(k-1)/k per NPU."""
+        k, payload = 8, 1 << 20
+        t = _run("run_direct_allreduce", AnalyticalNetwork, list(range(k)),
+                 payload, f"FC({k})", (100,), (0,))
+        expected = 2 * (payload * (k - 1) / k) / 100
+        assert t == pytest.approx(expected, rel=0.01)
+
+    def test_latency_is_one_step_per_half(self):
+        k, payload = 4, 1 << 10
+        lat = 10_000.0  # dominate the bandwidth term
+        t = _run("run_direct_allreduce", AnalyticalNetwork, list(range(k)),
+                 payload, f"FC({k})", (1000,), (lat,))
+        # Two phases; each costs ~one propagation on top of serialization.
+        assert t == pytest.approx(2 * lat, rel=0.05)
+
+    def test_agrees_with_garnet_on_fc(self):
+        k, payload = 4, 1 << 16
+        args = (list(range(k)), payload, f"FC({k})", (100,), (100,))
+        t_a = _run("run_direct_allreduce", AnalyticalNetwork, *args)
+        t_g = _run("run_direct_allreduce", GarnetLiteNetwork, *args,
+                   packet_bytes=payload // k)
+        # Garnet splits the dim bandwidth across k-1 links, so concurrent
+        # personalized sends run in parallel at 1/(k-1) rate each — same
+        # aggregate serialization the analytical port enforces.
+        assert t_g == pytest.approx(t_a, rel=0.05)
+
+    def test_trivial_group(self):
+        t = _run("run_direct_allreduce", AnalyticalNetwork, [0], 1 << 10,
+                 "FC(4)", (100,), (0,))
+        assert t == 0.0
+
+    def test_duplicates_rejected(self):
+        engine = EventEngine()
+        topo = parse_topology("FC(4)", [100])
+        executor = SendRecvCollectiveExecutor(
+            engine, AnalyticalNetwork(engine, topo))
+        with pytest.raises(ValueError):
+            executor.run_direct_allreduce([0, 0, 1], 100)
+
+
+class TestHalvingDoublingAllReduce:
+    def test_bandwidth_term_is_optimal(self):
+        """Total serialized traffic per NPU: payload*(k-1)/k per half."""
+        k, payload = 8, 1 << 20
+        t = _run("run_halving_doubling_allreduce", AnalyticalNetwork,
+                 list(range(k)), payload, f"Switch({k})", (100,), (0,))
+        expected = 2 * (payload * (k - 1) / k) / 100
+        assert t == pytest.approx(expected, rel=0.01)
+
+    def test_log_k_latency_steps_per_half(self):
+        k, payload = 8, 1 << 10
+        lat = 10_000.0
+        t = _run("run_halving_doubling_allreduce", AnalyticalNetwork,
+                 list(range(k)), payload, f"Switch({k})", (1000,), (lat,))
+        # 2*log2(8)=6 steps, each crossing the switch (2 hops x lat).
+        assert t == pytest.approx(6 * 2 * lat, rel=0.05)
+
+    def test_message_sizes_halve_then_double(self):
+        # Indirectly: time for k=4 at zero latency is size/2 + size/4
+        # per half over the port.
+        k, payload = 4, 1 << 20
+        t = _run("run_halving_doubling_allreduce", AnalyticalNetwork,
+                 list(range(k)), payload, f"Switch({k})", (100,), (0,))
+        expected = 2 * (payload / 2 + payload / 4) / 100
+        assert t == pytest.approx(expected, rel=0.01)
+
+    def test_non_power_of_two_rejected(self):
+        engine = EventEngine()
+        topo = parse_topology("Switch(8)", [100])
+        executor = SendRecvCollectiveExecutor(
+            engine, AnalyticalNetwork(engine, topo))
+        with pytest.raises(ValueError):
+            executor.run_halving_doubling_allreduce([0, 1, 2], 100)
+
+    def test_agrees_with_garnet_on_switch(self):
+        # Switch paths cross two links (NPU -> fabric -> NPU); with small
+        # packets the second hop pipelines behind the first and the
+        # store-and-forward penalty vanishes, recovering the analytical
+        # single-serialization model.
+        k, payload = 8, 1 << 16
+        args = (list(range(k)), payload, f"Switch({k})", (100,), (100,))
+        t_a = _run("run_halving_doubling_allreduce", AnalyticalNetwork, *args)
+        t_g = _run("run_halving_doubling_allreduce", GarnetLiteNetwork, *args,
+                   packet_bytes=512)
+        assert t_g == pytest.approx(t_a, rel=0.05)
+
+
+class TestAlgorithmEquivalence:
+    def test_all_three_move_the_same_traffic(self):
+        """At zero latency every Table I algorithm is bandwidth-optimal:
+        identical All-Reduce time on equal-bandwidth dims."""
+        k, payload = 8, 1 << 20
+        ring = _run("run_ring_allreduce", AnalyticalNetwork, list(range(k)),
+                    payload, f"Ring({k})", (100,), (0,))
+        direct = _run("run_direct_allreduce", AnalyticalNetwork,
+                      list(range(k)), payload, f"FC({k})", (100,), (0,))
+        hd = _run("run_halving_doubling_allreduce", AnalyticalNetwork,
+                  list(range(k)), payload, f"Switch({k})", (100,), (0,))
+        assert ring == pytest.approx(direct, rel=0.01)
+        assert ring == pytest.approx(hd, rel=0.01)
+
+    def test_latency_ordering_matches_table(self):
+        """Latency-bound regime: Direct (1 step) < HD (log k) < Ring (k-1)."""
+        k, payload = 8, 1 << 8
+        lat = 50_000.0
+        ring = _run("run_ring_allreduce", AnalyticalNetwork, list(range(k)),
+                    payload, f"Ring({k})", (1000,), (lat,))
+        direct = _run("run_direct_allreduce", AnalyticalNetwork,
+                      list(range(k)), payload, f"FC({k})", (1000,), (lat,))
+        hd = _run("run_halving_doubling_allreduce", AnalyticalNetwork,
+                  list(range(k)), payload, f"Switch({k})", (1000,), (lat,))
+        assert direct < hd < ring

@@ -1,0 +1,142 @@
+"""Unit tests for chunk-to-dimension schedulers."""
+
+import pytest
+
+from repro.events import EventEngine
+from repro.network import AnalyticalNetwork, parse_topology
+from repro.system import BaselineScheduler, PhaseKind, ThemisScheduler, make_scheduler
+from repro.system.scheduler import chunk_traffic_vector, chunk_work_vector
+
+
+def _network(bws=(100, 100, 100), sizes=None):
+    engine = EventEngine()
+    sizes = sizes or [4] * len(bws)
+    notation = "_".join(f"Ring({k})" for k in sizes)
+    topo = parse_topology(notation, list(bws), latencies_ns=[0] * len(bws))
+    return engine, AnalyticalNetwork(engine, topo)
+
+
+class TestWorkVectors:
+    def test_single_pass_vector(self):
+        _, net = _network(bws=(100, 100), sizes=(4, 4))
+        work = chunk_work_vector(net.topology.dims, (0, 1), PhaseKind.REDUCE_SCATTER,
+                                 1000, roundtrip=False)
+        assert work[0] == pytest.approx(750 / 100)
+        assert work[1] == pytest.approx(250 * 0.75 / 100)
+
+    def test_roundtrip_doubles(self):
+        _, net = _network(bws=(100,), sizes=(4,))
+        single = chunk_work_vector(net.topology.dims, (0,), PhaseKind.REDUCE_SCATTER,
+                                   1000, roundtrip=False)
+        double = chunk_work_vector(net.topology.dims, (0,), PhaseKind.REDUCE_SCATTER,
+                                   1000, roundtrip=True)
+        assert double[0] == pytest.approx(2 * single[0])
+
+    def test_traffic_vector_matches_table_iv_structure(self):
+        _, net = _network(bws=(100, 100), sizes=(2, 8))
+        traffic = chunk_traffic_vector(net.topology.dims, (0, 1),
+                                       PhaseKind.REDUCE_SCATTER, 1024,
+                                       roundtrip=True)
+        assert traffic[0] == pytest.approx(1024)       # 2 * 1024 * 1/2
+        assert traffic[1] == pytest.approx(896)        # 2 * 512 * 7/8
+
+
+class TestBaseline:
+    def test_ascending_order(self):
+        _, net = _network()
+        sched = BaselineScheduler()
+        order = sched.plan_order(net, 0, [2, 0, 1], PhaseKind.REDUCE_SCATTER,
+                                 100, {})
+        assert order == (0, 1, 2)
+
+    def test_empty_dims_rejected(self):
+        _, net = _network()
+        with pytest.raises(ValueError):
+            BaselineScheduler().plan_order(net, 0, [], PhaseKind.REDUCE_SCATTER,
+                                           1, {})
+
+
+class TestThemisGreedy:
+    def test_plan_starts_on_best_dim_when_idle(self):
+        # dim 1 is 4x faster: greedy should shrink payload there first.
+        _, net = _network(bws=(50, 400, 100))
+        sched = ThemisScheduler()
+        order = sched.plan_order(net, 0, [0, 1, 2], PhaseKind.REDUCE_SCATTER,
+                                 100000, {})
+        assert order[0] == 1
+
+    def test_backlog_steers_away(self):
+        _, net = _network(bws=(100, 100), sizes=(4, 4))
+        net.reserve_port(0, 0, 1e9)
+        sched = ThemisScheduler()
+        order = sched.plan_order(net, 0, [0, 1], PhaseKind.REDUCE_SCATTER,
+                                 1000, {})
+        assert order[0] == 1
+
+    def test_pending_load_counts_like_backlog(self):
+        _, net = _network(bws=(100, 100), sizes=(4, 4))
+        sched = ThemisScheduler()
+        order = sched.plan_order(net, 0, [0, 1], PhaseKind.REDUCE_SCATTER,
+                                 1000, {0: 1e9})
+        assert order[0] == 1
+
+    def test_deterministic(self):
+        _, net = _network()
+        sched = ThemisScheduler()
+        a = sched.plan_order(net, 0, [0, 1, 2], PhaseKind.REDUCE_SCATTER, 500, {})
+        b = sched.plan_order(net, 0, [0, 1, 2], PhaseKind.REDUCE_SCATTER, 500, {})
+        assert a == b
+
+    def test_empty_dims_rejected(self):
+        _, net = _network()
+        with pytest.raises(ValueError):
+            ThemisScheduler().plan_order(net, 0, [], PhaseKind.REDUCE_SCATTER,
+                                         1, {})
+
+
+class TestThemisBalancedPlan:
+    def test_loads_balanced_on_heterogeneous_topology(self):
+        engine = EventEngine()
+        topo = parse_topology("Ring(2)_FC(8)_Ring(8)_Switch(4)",
+                              [250, 200, 100, 50], latencies_ns=[0, 0, 0, 0])
+        net = AnalyticalNetwork(engine, topo)
+        plan = ThemisScheduler().balanced_plan(
+            network=net, dims=(0, 1, 2, 3), kind=PhaseKind.REDUCE_SCATTER,
+            payload_bytes=1 << 30, num_chunks=32, roundtrip=True)
+        assert plan is not None
+        loads = list(plan.loads_ns.values())
+        assert max(loads) == pytest.approx(min(loads), rel=0.01)
+        # Balanced bottleneck approaches 2S/sum(BW) = 2*2^30/600 ns.
+        assert max(loads) == pytest.approx(2 * (1 << 30) / 600, rel=0.05)
+
+    def test_traffic_conserved(self):
+        engine = EventEngine()
+        topo = parse_topology("Ring(2)_FC(8)", [100, 100],
+                              latencies_ns=[0, 0])
+        net = AnalyticalNetwork(engine, topo)
+        plan = ThemisScheduler().balanced_plan(
+            network=net, dims=(0, 1), kind=PhaseKind.REDUCE_SCATTER,
+            payload_bytes=1 << 20, num_chunks=8, roundtrip=True)
+        # Total traffic is order-independent: 2 * S * (1 - 1/16).
+        assert sum(plan.traffic_bytes.values()) == pytest.approx(
+            2 * (1 << 20) * (1 - 1 / 16), rel=1e-6)
+
+    def test_fill_smaller_than_loads(self):
+        engine = EventEngine()
+        topo = parse_topology("Ring(4)_Ring(4)", [100, 100])
+        net = AnalyticalNetwork(engine, topo)
+        plan = ThemisScheduler().balanced_plan(
+            network=net, dims=(0, 1), kind=PhaseKind.REDUCE_SCATTER,
+            payload_bytes=1 << 30, num_chunks=32, roundtrip=True)
+        assert 0 <= plan.fill_ns < max(plan.loads_ns.values())
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_scheduler("baseline"), BaselineScheduler)
+        assert isinstance(make_scheduler("themis"), ThemisScheduler)
+        assert isinstance(make_scheduler("Themis"), ThemisScheduler)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("magic")

@@ -1,0 +1,111 @@
+"""Unit tests for static trace analysis."""
+
+import pytest
+
+from repro.network import parse_topology
+from repro.trace import CollectiveType, ETNode, ExecutionTrace, NodeType, TensorLocation
+from repro.trace.analysis import (
+    communication_matrix,
+    lower_bound_time_ns,
+    summarize,
+)
+from repro.workload import ParallelismSpec, generate_megatron_hybrid, gpt3_175b
+
+
+def _mixed_trace():
+    nodes = [
+        ETNode(0, NodeType.COMPUTE, flops=1000),
+        ETNode(1, NodeType.COMPUTE, flops=2000, deps=(0,)),
+        ETNode(2, NodeType.COMPUTE, flops=500, deps=(0,)),
+        ETNode(3, NodeType.COMM_COLLECTIVE, tensor_bytes=4096, deps=(1, 2),
+               collective=CollectiveType.ALL_REDUCE),
+        ETNode(4, NodeType.COMM_SEND, tensor_bytes=128, deps=(3,), peer=7),
+        ETNode(5, NodeType.MEMORY_LOAD, tensor_bytes=256, deps=(3,),
+               location=TensorLocation.REMOTE),
+        ETNode(6, NodeType.MEMORY_STORE, tensor_bytes=64, deps=(3,)),
+    ]
+    return ExecutionTrace(0, nodes)
+
+
+class TestSummarize:
+    def test_counts_and_totals(self):
+        s = summarize(_mixed_trace())
+        assert s.num_nodes == 7
+        assert s.total_flops == 3500
+        assert s.comm_bytes_by_collective == {"all_reduce": 4096}
+        assert s.p2p_bytes == 128
+        assert s.memory_bytes_remote == 256
+        assert s.memory_bytes_local == 64
+        assert s.total_comm_bytes == 4096 + 128
+
+    def test_critical_path_flops_takes_longest_branch(self):
+        s = summarize(_mixed_trace())
+        # 1000 -> 2000 branch beats 1000 -> 500.
+        assert s.critical_path_flops == 3000
+        # Longest chain: 0 -> 1 -> 3 -> {4,5,6}.
+        assert s.critical_path_nodes == 4
+
+    def test_max_parallelism(self):
+        s = summarize(_mixed_trace())
+        # Nodes 1,2 at depth 2; nodes 4,5,6 at depth 4.
+        assert s.max_parallelism == 3
+
+    def test_intensity(self):
+        s = summarize(_mixed_trace())
+        assert s.flops_per_comm_byte == pytest.approx(3500 / 4224)
+
+    def test_empty_trace(self):
+        s = summarize(ExecutionTrace(0))
+        assert s.num_nodes == 0
+        assert s.flops_per_comm_byte == float("inf")
+
+    def test_format_is_readable(self):
+        text = summarize(_mixed_trace()).format()
+        assert "trace for NPU 0" in text
+        assert "all_reduce" in text
+        assert "p2p" in text
+
+    def test_on_generated_workload(self):
+        topo = parse_topology("Ring(2)_FC(8)_Ring(8)_Switch(4)",
+                              [250, 200, 100, 50])
+        traces = generate_megatron_hybrid(
+            gpt3_175b(), topo, ParallelismSpec(mp=16, dp=32))
+        s = summarize(traces[0])
+        assert s.total_flops > 1e12
+        assert "all_reduce" in s.comm_bytes_by_collective
+
+
+class TestCommunicationMatrix:
+    def test_pairwise_bytes(self):
+        t0 = ExecutionTrace(0, [
+            ETNode(0, NodeType.COMM_SEND, tensor_bytes=100, peer=1, tag=1),
+            ETNode(1, NodeType.COMM_SEND, tensor_bytes=50, peer=1, tag=2),
+        ])
+        t1 = ExecutionTrace(1, [
+            ETNode(0, NodeType.COMM_RECV, tensor_bytes=100, peer=0, tag=1),
+            ETNode(1, NodeType.COMM_RECV, tensor_bytes=50, peer=0, tag=2),
+            ETNode(2, NodeType.COMM_SEND, tensor_bytes=25, peer=0, tag=3),
+        ])
+        matrix = communication_matrix({0: t0, 1: t1})
+        assert matrix == {(0, 1): 150, (1, 0): 25}
+
+
+class TestLowerBound:
+    def test_bound_never_beaten_by_simulation(self):
+        import repro
+
+        topo = parse_topology("Ring(2)_FC(8)_Ring(8)_Switch(4)",
+                              [250, 200, 100, 50])
+        traces = generate_megatron_hybrid(
+            gpt3_175b(), topo, ParallelismSpec(mp=16, dp=32))
+        bound = lower_bound_time_ns(
+            traces[0], peak_tflops=234.0,
+            injection_bw_gbps=topo.total_bandwidth_gbps())
+        result = repro.simulate(
+            traces, repro.SystemConfig(topology=topo, scheduler="themis"))
+        assert result.total_time_ns >= bound
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lower_bound_time_ns(_mixed_trace(), peak_tflops=0,
+                                injection_bw_gbps=100)

@@ -1,0 +1,153 @@
+"""Unit tests for PyTorch / FlexFlow trace converters."""
+
+import pytest
+
+from repro.trace import CollectiveType, NodeType, TensorLocation, TraceValidationError
+from repro.trace.converters import convert_flexflow_taskgraph, convert_pytorch_eg
+
+
+def _pytorch_payload():
+    return {
+        "schema": "pytorch-eg",
+        "rank": 2,
+        "nodes": [
+            {"id": 1, "name": "aten::mm", "inputs": [100], "outputs": [101],
+             "flops": 1000, "tensor_bytes": 256},
+            {"id": 2, "name": "nccl:all_reduce", "inputs": [101],
+             "outputs": [102], "tensor_bytes": 256, "comm_dims": [0]},
+            {"id": 3, "name": "aten::copy_", "inputs": [102], "outputs": [103],
+             "tensor_bytes": 256, "direction": "store", "location": "remote"},
+        ],
+    }
+
+
+class TestPyTorchConverter:
+    def test_rank_becomes_npu_id(self):
+        trace = convert_pytorch_eg(_pytorch_payload())
+        assert trace.npu_id == 2
+
+    def test_dataflow_becomes_dependencies(self):
+        trace = convert_pytorch_eg(_pytorch_payload())
+        assert trace.node(2).deps == (1,)
+        assert trace.node(3).deps == (2,)
+
+    def test_node_kinds_inferred_from_names(self):
+        trace = convert_pytorch_eg(_pytorch_payload())
+        assert trace.node(1).node_type is NodeType.COMPUTE
+        assert trace.node(2).node_type is NodeType.COMM_COLLECTIVE
+        assert trace.node(2).collective is CollectiveType.ALL_REDUCE
+        assert trace.node(2).comm_dims == (0,)
+        assert trace.node(3).node_type is NodeType.MEMORY_STORE
+        assert trace.node(3).location is TensorLocation.REMOTE
+
+    def test_control_only_nodes_elided_with_dep_splicing(self):
+        payload = {
+            "schema": "pytorch-eg",
+            "rank": 0,
+            "nodes": [
+                {"id": 1, "name": "aten::mm", "inputs": [], "outputs": [10],
+                 "flops": 10},
+                {"id": 2, "name": "autograd::engine", "inputs": [10],
+                 "outputs": [11]},  # control-only: no flops/bytes
+                {"id": 3, "name": "aten::mm", "inputs": [11], "outputs": [12],
+                 "flops": 10},
+            ],
+        }
+        trace = convert_pytorch_eg(payload)
+        assert 2 not in trace
+        assert trace.node(3).deps == (1,)
+
+    def test_p2p_send_recv_mapping(self):
+        payload = {
+            "schema": "pytorch-eg",
+            "rank": 0,
+            "nodes": [
+                {"id": 1, "name": "nccl:send", "inputs": [], "outputs": [],
+                 "tensor_bytes": 8, "peer": 5},
+                {"id": 2, "name": "nccl:recv", "inputs": [], "outputs": [],
+                 "tensor_bytes": 8, "peer": 5},
+            ],
+        }
+        trace = convert_pytorch_eg(payload)
+        assert trace.node(1).node_type is NodeType.COMM_SEND
+        assert trace.node(2).node_type is NodeType.COMM_RECV
+        assert trace.node(1).peer == 5
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(TraceValidationError):
+            convert_pytorch_eg({"schema": "tf-graph", "nodes": []})
+
+    def test_unknown_collective_rejected(self):
+        payload = {
+            "schema": "pytorch-eg", "rank": 0,
+            "nodes": [{"id": 1, "name": "nccl:broadcast", "inputs": [],
+                       "outputs": [], "tensor_bytes": 8}],
+        }
+        with pytest.raises(TraceValidationError):
+            convert_pytorch_eg(payload)
+
+    def test_ctrl_deps_honored(self):
+        payload = {
+            "schema": "pytorch-eg", "rank": 0,
+            "nodes": [
+                {"id": 1, "name": "aten::mm", "inputs": [], "outputs": [],
+                 "flops": 10},
+                {"id": 2, "name": "aten::mm", "inputs": [], "outputs": [],
+                 "flops": 10, "ctrl_deps": [1]},
+            ],
+        }
+        trace = convert_pytorch_eg(payload)
+        assert trace.node(2).deps == (1,)
+
+
+class TestFlexFlowConverter:
+    def test_basic_conversion(self):
+        payload = {
+            "schema": "flexflow-taskgraph",
+            "device": 4,
+            "tasks": [
+                {"task_id": 0, "kind": "task", "name": "linear", "deps": [],
+                 "flops": 500, "bytes": 32},
+                {"task_id": 1, "kind": "allreduce", "deps": [0], "bytes": 64,
+                 "comm_dims": [1]},
+                {"task_id": 2, "kind": "send", "deps": [1], "bytes": 8,
+                 "peer": 5, "tag": 9},
+                {"task_id": 3, "kind": "load", "deps": [], "bytes": 16,
+                 "location": "remote"},
+            ],
+        }
+        trace = convert_flexflow_taskgraph(payload)
+        assert trace.npu_id == 4
+        assert trace.node(0).node_type is NodeType.COMPUTE
+        assert trace.node(1).collective is CollectiveType.ALL_REDUCE
+        assert trace.node(1).comm_dims == (1,)
+        assert trace.node(2).node_type is NodeType.COMM_SEND
+        assert trace.node(2).tag == 9
+        assert trace.node(3).location is TensorLocation.REMOTE
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(TraceValidationError):
+            convert_flexflow_taskgraph({"schema": "x", "tasks": []})
+
+    def test_unknown_kind_rejected(self):
+        payload = {
+            "schema": "flexflow-taskgraph", "device": 0,
+            "tasks": [{"task_id": 0, "kind": "teleport", "deps": []}],
+        }
+        with pytest.raises(TraceValidationError):
+            convert_flexflow_taskgraph(payload)
+
+    def test_all_collective_kinds(self):
+        kinds = {
+            "allreduce": CollectiveType.ALL_REDUCE,
+            "allgather": CollectiveType.ALL_GATHER,
+            "reducescatter": CollectiveType.REDUCE_SCATTER,
+            "alltoall": CollectiveType.ALL_TO_ALL,
+        }
+        for i, (kind, expected) in enumerate(kinds.items()):
+            payload = {
+                "schema": "flexflow-taskgraph", "device": 0,
+                "tasks": [{"task_id": 0, "kind": kind, "deps": [], "bytes": 8}],
+            }
+            trace = convert_flexflow_taskgraph(payload)
+            assert trace.node(0).collective is expected

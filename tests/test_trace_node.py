@@ -1,0 +1,73 @@
+"""Unit tests for the ET node schema."""
+
+import pytest
+
+from repro.trace import CollectiveType, ETNode, NodeType, TensorLocation
+
+
+def test_compute_node_classification():
+    node = ETNode(0, NodeType.COMPUTE, flops=100)
+    assert node.is_compute
+    assert not node.is_comm
+    assert not node.is_memory
+
+
+def test_memory_node_classification():
+    load = ETNode(0, NodeType.MEMORY_LOAD, tensor_bytes=64)
+    store = ETNode(1, NodeType.MEMORY_STORE, tensor_bytes=64)
+    assert load.is_memory and store.is_memory
+    assert load.location is TensorLocation.LOCAL
+
+
+def test_collective_node_requires_collective_type():
+    with pytest.raises(ValueError):
+        ETNode(0, NodeType.COMM_COLLECTIVE, tensor_bytes=4)
+
+
+def test_collective_node_classification():
+    node = ETNode(
+        0, NodeType.COMM_COLLECTIVE, tensor_bytes=4,
+        collective=CollectiveType.ALL_REDUCE,
+    )
+    assert node.is_comm and node.is_collective and not node.is_p2p
+
+
+def test_p2p_node_requires_peer():
+    with pytest.raises(ValueError):
+        ETNode(0, NodeType.COMM_SEND, tensor_bytes=4)
+    with pytest.raises(ValueError):
+        ETNode(0, NodeType.COMM_RECV, tensor_bytes=4, peer=-1)
+
+
+def test_p2p_node_classification():
+    node = ETNode(0, NodeType.COMM_SEND, tensor_bytes=4, peer=3)
+    assert node.is_p2p and node.is_comm and not node.is_collective
+
+
+def test_self_dependency_rejected():
+    with pytest.raises(ValueError):
+        ETNode(5, NodeType.COMPUTE, flops=1, deps=(5,))
+
+
+def test_negative_sizes_rejected():
+    with pytest.raises(ValueError):
+        ETNode(0, NodeType.COMPUTE, flops=-1)
+    with pytest.raises(ValueError):
+        ETNode(0, NodeType.COMPUTE, flops=1, tensor_bytes=-1)
+    with pytest.raises(ValueError):
+        ETNode(-1, NodeType.COMPUTE, flops=1)
+
+
+def test_empty_compute_node_rejected():
+    with pytest.raises(ValueError):
+        ETNode(0, NodeType.COMPUTE)
+
+
+def test_deps_normalized_to_tuple():
+    node = ETNode(3, NodeType.COMPUTE, flops=1, deps=[0, 1])
+    assert node.deps == (0, 1)
+    node2 = ETNode(
+        4, NodeType.COMM_COLLECTIVE, tensor_bytes=1,
+        collective=CollectiveType.ALL_GATHER, comm_dims=[0, 2],
+    )
+    assert node2.comm_dims == (0, 2)

@@ -1,0 +1,123 @@
+"""Unit tests for the FSDP generator and 3-D pipeline parallelism."""
+
+import pytest
+
+from repro.core import Simulator, SystemConfig
+from repro.memory import LocalMemory
+from repro.network import parse_topology
+from repro.system import RooflineCompute
+from repro.trace import CollectiveType, NodeType
+from repro.workload import (
+    ParallelismSpec,
+    generate_fsdp,
+    generate_pipeline_parallel,
+)
+from repro.workload.models import TransformerSpec
+
+
+def _model():
+    return TransformerSpec("tiny", num_layers=4, hidden=64, seq_len=32,
+                           batch_per_replica=2)
+
+
+def _topo():
+    return parse_topology("Ring(4)_FC(4)_Switch(4)", [200, 100, 50])
+
+
+def _config(topology):
+    return SystemConfig(
+        topology=topology,
+        compute=RooflineCompute(peak_tflops=100.0),
+        local_memory=LocalMemory(bandwidth_gbps=1000.0),
+        collective_chunks=4,
+    )
+
+
+class TestFSDP:
+    def test_structure_gathers_and_scatters(self):
+        traces = generate_fsdp(_model(), _topo())
+        trace = traces[0]
+        ags = [n for n in trace if n.collective is CollectiveType.ALL_GATHER]
+        rss = [n for n in trace
+               if n.collective is CollectiveType.REDUCE_SCATTER]
+        # One gather per layer per pass (fwd + bwd), one RS per layer.
+        assert len(ags) == 2 * 4
+        assert len(rss) == 4
+
+    def test_gathers_prefetch_along_chain(self):
+        traces = generate_fsdp(_model(), _topo())
+        trace = traces[0]
+        compute_ids = {n.node_id for n in trace if n.is_compute}
+        fwd_ags = [n for n in trace if "fwdAG" in n.name]
+        for ag in fwd_ags:
+            assert not (set(ag.deps) & compute_ids)
+
+    def test_gather_payload_is_layer_params(self):
+        model = _model()
+        traces = generate_fsdp(model, _topo())
+        ag = next(n for n in traces[0] if "fwdAG" in n.name)
+        assert ag.tensor_bytes == model.params_per_layer * model.dtype_bytes
+
+    def test_runs_end_to_end(self):
+        topo = _topo()
+        traces = generate_fsdp(_model(), topo)
+        result = Simulator(traces, _config(topo)).run()
+        assert result.total_time_ns > 0
+        assert result.nodes_executed == len(traces[0])
+
+    def test_fsdp_comm_exceeds_plain_dp(self):
+        """FSDP trades memory for communication: it gathers parameters
+        three times (2x AG + 1x RS) where DP all-reduces once (~2x RS
+        traffic), so total collective traffic is ~1.5x."""
+        from repro.workload import generate_data_parallel
+
+        topo = _topo()
+        fsdp = Simulator(generate_fsdp(_model(), topo), _config(topo)).run()
+        dp = Simulator(generate_data_parallel(_model(), topo),
+                       _config(topo)).run()
+        fsdp_bytes = sum(sum(c.traffic_by_dim.values())
+                         for c in fsdp.collectives)
+        dp_bytes = sum(sum(c.traffic_by_dim.values()) for c in dp.collectives)
+        assert fsdp_bytes == pytest.approx(1.5 * dp_bytes, rel=0.05)
+
+
+class Test3DParallelism:
+    def _traces(self):
+        topo = parse_topology("Ring(4)_Ring(4)_Switch(2)", [100, 100, 50])
+        return topo, generate_pipeline_parallel(
+            _model(), topo, ParallelismSpec(mp=4, pp=4, dp=2),
+            microbatches=2)
+
+    def test_stages_emit_mp_allreduces(self):
+        topo, traces = self._traces()
+        for trace in traces.values():
+            mp_ars = [n for n in trace if n.is_collective
+                      and "fwdAR" in n.name]
+            assert mp_ars
+            assert all(n.comm_dims == (0,) for n in mp_ars)
+
+    def test_all_three_comm_kinds_present(self):
+        """MP all-reduce + PP send/recv + DP gradient all-reduce = 3D."""
+        topo, traces = self._traces()
+        interior = traces[sorted(traces)[1]]
+        kinds = {n.node_type for n in interior}
+        assert NodeType.COMM_SEND in kinds
+        assert NodeType.COMM_RECV in kinds
+        names = {n.name.split(".")[1] for n in interior if n.is_collective}
+        assert any("fwdAR" in n.name for n in interior)
+        assert any("gradAR" in n.name for n in interior)
+
+    def test_runs_end_to_end(self):
+        topo, traces = self._traces()
+        result = Simulator(traces, _config(topo)).run()
+        assert result.total_time_ns > 0
+        assert result.nodes_executed == sum(len(t) for t in traces.values())
+
+    def test_mp_groups_disjoint_across_stages(self):
+        """Each stage rep's MP communicator is its own dim-0 group; the
+        collectives must not rendezvous across stages."""
+        topo, traces = self._traces()
+        result = Simulator(traces, _config(topo)).run()
+        mp_records = [c for c in result.collectives if "fwdAR" in c.name]
+        reps = {c.rep_npu for c in mp_records}
+        assert len(reps) == 4  # one distinct MP group per stage

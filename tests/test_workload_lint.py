@@ -1,0 +1,103 @@
+"""Unit tests for the static trace linter."""
+
+import pytest
+
+from repro.network import parse_topology
+from repro.trace import CollectiveType, ETNode, ExecutionTrace, NodeType
+from repro.workload import (
+    ParallelismSpec,
+    generate_dlrm,
+    generate_megatron_hybrid,
+    generate_moe,
+    generate_pipeline_parallel,
+    gpt3_175b,
+    dlrm_paper,
+    moe_1t,
+)
+from repro.workload.lint import lint_traces
+from repro.workload.models import TransformerSpec
+
+
+def _topo():
+    return parse_topology("Ring(4)_Switch(2)", [100, 50])
+
+
+class TestCleanTraces:
+    def test_generators_produce_clean_traces(self):
+        topo = parse_topology("Ring(2)_FC(8)_Ring(8)_Switch(4)",
+                              [250, 200, 100, 50])
+        model = TransformerSpec("t", num_layers=4, hidden=64, seq_len=32)
+        cases = [
+            generate_megatron_hybrid(gpt3_175b(), topo,
+                                     ParallelismSpec(mp=16, dp=32)),
+            generate_dlrm(dlrm_paper(), topo),
+            generate_moe(moe_1t(), topo),
+            generate_pipeline_parallel(
+                model, parse_topology("Ring(4)_Switch(2)", [100, 50]),
+                ParallelismSpec(pp=4, dp=2), microbatches=3),
+        ]
+        topos = [topo, topo, topo,
+                 parse_topology("Ring(4)_Switch(2)", [100, 50])]
+        for traces, t in zip(cases, topos):
+            assert lint_traces(traces, t) == []
+
+    def test_flat_group_traces_are_clean(self):
+        wafer = parse_topology("Switch(512)", [600])
+        traces = generate_megatron_hybrid(
+            gpt3_175b(), wafer, ParallelismSpec(mp=16, dp=32))
+        assert lint_traces(traces, wafer) == []
+
+
+class TestFindings:
+    def test_unmatched_send(self):
+        t0 = ExecutionTrace(0, [
+            ETNode(0, NodeType.COMM_SEND, tensor_bytes=8, peer=1, tag=7)])
+        findings = lint_traces({0: t0}, _topo())
+        assert any("1 sends vs 0 receives" in f for f in findings)
+
+    def test_matched_channel_is_clean(self):
+        t0 = ExecutionTrace(0, [
+            ETNode(0, NodeType.COMM_SEND, tensor_bytes=8, peer=1, tag=7)])
+        t1 = ExecutionTrace(1, [
+            ETNode(0, NodeType.COMM_RECV, tensor_bytes=8, peer=0, tag=7)])
+        assert lint_traces({0: t0, 1: t1}, _topo()) == []
+
+    def test_nonexistent_peer(self):
+        t0 = ExecutionTrace(0, [
+            ETNode(0, NodeType.COMM_SEND, tensor_bytes=8, peer=99, tag=1)])
+        findings = lint_traces({0: t0}, _topo())
+        assert any("nonexistent NPU 99" in f for f in findings)
+
+    def test_bad_comm_dims(self):
+        t0 = ExecutionTrace(0, [
+            ETNode(0, NodeType.COMM_COLLECTIVE, tensor_bytes=8,
+                   collective=CollectiveType.ALL_REDUCE, comm_dims=(5,))])
+        findings = lint_traces({0: t0}, _topo())
+        assert any("out of range" in f for f in findings)
+
+    def test_non_cartesian_group(self):
+        t0 = ExecutionTrace(0, [
+            ETNode(0, NodeType.COMM_COLLECTIVE, tensor_bytes=8,
+                   collective=CollectiveType.ALL_REDUCE,
+                   involved_npus=(0, 1, 4))])
+        findings = lint_traces({0: t0}, _topo())
+        assert any("cartesian" in f for f in findings)
+
+    def test_unbalanced_collective_counts(self):
+        ar = dict(node_type=NodeType.COMM_COLLECTIVE, tensor_bytes=8,
+                  collective=CollectiveType.ALL_REDUCE, comm_dims=(0,))
+        t0 = ExecutionTrace(0, [ETNode(0, **ar), ETNode(1, deps=(0,), **ar)])
+        t1 = ExecutionTrace(1, [ETNode(0, **ar)])
+        findings = lint_traces({0: t0, 1: t1}, _topo())
+        assert any("unequal collective counts" in f for f in findings)
+
+    def test_trace_key_mismatch(self):
+        t0 = ExecutionTrace(0, [
+            ETNode(0, NodeType.COMPUTE, flops=1)])
+        findings = lint_traces({3: t0}, _topo())
+        assert any("registered under key 3" in f for f in findings)
+
+    def test_npu_outside_topology(self):
+        t0 = ExecutionTrace(99, [ETNode(0, NodeType.COMPUTE, flops=1)])
+        findings = lint_traces({99: t0}, _topo())
+        assert any("does not exist" in f for f in findings)

@@ -1,0 +1,109 @@
+"""Unit tests for the model zoo (paper Table III parameter counts)."""
+
+import pytest
+
+from repro.workload import (
+    DLRMSpec,
+    MoESpec,
+    TransformerSpec,
+    dlrm_paper,
+    gpt3_175b,
+    moe_1t,
+    transformer_1t,
+)
+
+
+class TestTransformerSpecs:
+    def test_gpt3_parameter_count(self):
+        """Table III: GPT-3 has 175B parameters."""
+        model = gpt3_175b()
+        assert model.total_params == pytest.approx(175e9, rel=0.01)
+
+    def test_transformer_1t_parameter_count(self):
+        """Table III: Transformer-1T has 1T parameters."""
+        model = transformer_1t()
+        assert model.total_params == pytest.approx(1e12, rel=0.01)
+
+    def test_backward_is_twice_forward(self):
+        model = gpt3_175b()
+        assert model.bwd_flops_per_layer() == 2 * model.fwd_flops_per_layer()
+
+    def test_fwd_flops_dominated_by_matmul_term(self):
+        model = gpt3_175b(batch_per_replica=1)
+        tokens = model.seq_len
+        matmul = 2 * model.params_per_layer * tokens
+        assert model.fwd_flops_per_layer() > matmul
+
+    def test_activation_scales_with_batch(self):
+        small = gpt3_175b(batch_per_replica=1)
+        big = gpt3_175b(batch_per_replica=4)
+        assert big.activation_bytes() == 4 * small.activation_bytes()
+
+    def test_grad_bytes(self):
+        model = gpt3_175b()
+        assert model.layer_grad_bytes() == model.params_per_layer * 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransformerSpec("x", num_layers=0, hidden=8, seq_len=8)
+
+
+class TestDLRM:
+    def test_paper_mlp_params(self):
+        """Table III: DLRM has 57M MLP parameters."""
+        assert dlrm_paper().mlp_params == 57_000_000
+
+    def test_alltoall_payload_structure(self):
+        model = DLRMSpec("d", mlp_params=1000, num_tables=4, emb_dim=8,
+                         batch_per_npu=2, dtype_bytes=4)
+        assert model.alltoall_bytes_per_npu() == 2 * 4 * 8 * 4
+
+    def test_grad_bytes_and_flops(self):
+        model = dlrm_paper()
+        assert model.mlp_grad_bytes() == 57_000_000 * 4
+        assert model.mlp_flops() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DLRMSpec("d", mlp_params=0, num_tables=1, emb_dim=1, batch_per_npu=1)
+
+
+class TestMoE:
+    def test_moe_1t_parameter_count(self):
+        """Sec. V-B: the MoE model has 1 trillion parameters."""
+        model = moe_1t()
+        assert model.total_params == pytest.approx(1e12, rel=0.05)
+
+    def test_moe_layer_count(self):
+        model = moe_1t()
+        assert model.num_moe_layers == model.num_layers // model.moe_every
+
+    def test_expert_params_formula(self):
+        model = MoESpec("m", num_layers=4, hidden=16, seq_len=8, num_experts=2)
+        assert model.expert_params == 8 * 16 * 16
+
+    def test_expert_sharding_across_gpus(self):
+        model = moe_1t()
+        per_gpu_256 = model.expert_params_per_gpu(256)
+        per_gpu_64 = model.expert_params_per_gpu(64)
+        assert per_gpu_64 == 4 * per_gpu_256
+
+    def test_sharding_floors_at_one_expert(self):
+        model = MoESpec("m", num_layers=2, hidden=16, seq_len=8, num_experts=2)
+        assert model.expert_params_per_gpu(1000) == model.expert_params
+
+    def test_alltoall_payload(self):
+        model = moe_1t(batch_per_gpu=2)
+        expected = 2 * model.seq_len * model.top_k * model.hidden * model.dtype_bytes
+        assert model.alltoall_bytes_per_gpu() == expected
+
+    def test_flops_positive(self):
+        model = moe_1t()
+        assert model.expert_flops_per_gpu() > 0
+        assert model.dense_flops_per_gpu() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MoESpec("m", num_layers=1, hidden=1, seq_len=1, num_experts=0)
+        with pytest.raises(ValueError):
+            moe_1t().expert_params_per_gpu(0)

@@ -1,0 +1,129 @@
+"""Quantitative checks of generator payload/FLOP metadata.
+
+The case studies are only as good as the byte and FLOP counts the
+generators attach to nodes; these tests pin them to the closed-form
+model quantities.
+"""
+
+import pytest
+
+from repro.network import parse_topology
+from repro.trace import CollectiveType, NodeType
+from repro.workload import (
+    ParallelismSpec,
+    generate_data_parallel,
+    generate_dlrm,
+    generate_fsdp,
+    generate_megatron_hybrid,
+    generate_moe,
+    dlrm_paper,
+    gpt3_175b,
+    moe_1t,
+)
+
+
+def _topo():
+    return parse_topology("Ring(2)_FC(8)_Ring(8)_Switch(4)",
+                          [250, 200, 100, 50])
+
+
+class TestHybridPayloads:
+    def test_mp_allreduce_is_activation_sized(self):
+        model = gpt3_175b(batch_per_replica=2)
+        traces = generate_megatron_hybrid(
+            model, _topo(), ParallelismSpec(mp=16, dp=32))
+        fwd_ars = [n for n in traces[0] if "fwdAR" in n.name]
+        expected = 2 * 2048 * 12288 * 2  # batch x seq x hidden x fp16
+        assert all(n.tensor_bytes == expected for n in fwd_ars)
+        # Two per layer (attention + MLP).
+        assert len(fwd_ars) == 2 * 96
+
+    def test_dp_allreduce_is_mp_sharded_layer_grads(self):
+        model = gpt3_175b()
+        traces = generate_megatron_hybrid(
+            model, _topo(), ParallelismSpec(mp=16, dp=32))
+        grad_ars = [n for n in traces[0] if "gradAR" in n.name]
+        expected = 12 * 12288 * 12288 * 2 // 16
+        assert all(n.tensor_bytes == expected for n in grad_ars)
+        assert len(grad_ars) == 96
+
+    def test_total_dp_traffic_equals_sharded_model(self):
+        model = gpt3_175b()
+        traces = generate_megatron_hybrid(
+            model, _topo(), ParallelismSpec(mp=16, dp=32))
+        total = sum(n.tensor_bytes for n in traces[0] if "gradAR" in n.name)
+        assert total == pytest.approx(model.total_params * 2 / 16, rel=1e-6)
+
+    def test_compute_flops_match_model_totals(self):
+        model = gpt3_175b()
+        traces = generate_megatron_hybrid(
+            model, _topo(), ParallelismSpec(mp=16, dp=32))
+        fwd = sum(n.flops for n in traces[0]
+                  if n.is_compute and ".fwd." in n.name)
+        # Two halves per layer at fwd_flops/(2*mp) each.
+        expected = 96 * 2 * (model.fwd_flops_per_layer() // 32)
+        assert fwd == pytest.approx(expected, rel=1e-6)
+
+
+class TestFSDPPayloads:
+    def test_gathers_move_full_layer_params(self):
+        model = gpt3_175b()
+        traces = generate_fsdp(model, _topo())
+        ags = [n for n in traces[0]
+               if n.collective is CollectiveType.ALL_GATHER]
+        assert all(n.tensor_bytes == model.params_per_layer * 2 for n in ags)
+
+    def test_total_traffic_is_three_model_sizes(self):
+        model = gpt3_175b()
+        traces = generate_fsdp(model, _topo())
+        total = sum(n.tensor_bytes for n in traces[0] if n.is_collective)
+        # 2x AG + 1x RS of every layer's fp16 parameters.
+        assert total == pytest.approx(3 * model.total_params * 2, rel=1e-6)
+
+
+class TestDPTotals:
+    def test_dp_allreduce_total_is_model_size(self):
+        model = gpt3_175b()
+        traces = generate_data_parallel(model, _topo())
+        total = sum(n.tensor_bytes for n in traces[0] if n.is_collective)
+        assert total == pytest.approx(model.total_params * 2, rel=1e-6)
+
+
+class TestDLRMPayloads:
+    def test_mlp_allreduce_is_57m_fp32(self):
+        traces = generate_dlrm(dlrm_paper(), _topo())
+        ar = next(n for n in traces[0]
+                  if n.collective is CollectiveType.ALL_REDUCE)
+        assert ar.tensor_bytes == 57_000_000 * 4
+
+    def test_a2a_payload_formula(self):
+        model = dlrm_paper(batch_per_npu=64)
+        traces = generate_dlrm(model, _topo())
+        a2a = next(n for n in traces[0]
+                   if n.collective is CollectiveType.ALL_TO_ALL)
+        assert a2a.tensor_bytes == 64 * 64 * 128 * 4
+
+
+class TestMoEPayloads:
+    def test_expert_stream_totals_one_trillion_params(self):
+        model = moe_1t()
+        topo = parse_topology("Switch(16)_Switch(16)", [256, 12.5])
+        traces = generate_moe(model, topo, remote_parameters=True)
+        loads = [n for n in traces[0]
+                 if n.node_type is NodeType.MEMORY_LOAD
+                 and "experts" in n.name]
+        total_expert_bytes = sum(n.tensor_bytes for n in loads) * 256
+        expert_params = model.num_moe_layers * model.num_experts * \
+            model.expert_params
+        assert total_expert_bytes == pytest.approx(
+            expert_params * 2, rel=0.01)
+
+    def test_dense_gather_payloads(self):
+        model = moe_1t()
+        topo = parse_topology("Switch(16)_Switch(16)", [256, 12.5])
+        traces = generate_moe(model, topo, remote_parameters=True)
+        ags = [n for n in traces[0]
+               if n.collective is CollectiveType.ALL_GATHER]
+        dense_layer_bytes = 12 * 4096 * 4096 * 2
+        assert all(n.tensor_bytes == dense_layer_bytes for n in ags)
+        assert len(ags) == 24
