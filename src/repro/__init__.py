@@ -32,6 +32,13 @@ from repro.core import (
     simulate,
 )
 from repro.events import EventEngine
+from repro.faults import (
+    CheckpointConfig,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+    parse_faults,
+)
 from repro.memory import (
     HierMemConfig,
     HierarchicalRemoteMemory,
@@ -51,7 +58,13 @@ from repro.network import (
     TopologyError,
     parse_topology,
 )
-from repro.stats import Activity, Breakdown, format_breakdown_table, format_table
+from repro.stats import (
+    Activity,
+    Breakdown,
+    ResilienceReport,
+    format_breakdown_table,
+    format_table,
+)
 from repro.system import RooflineCompute, SendRecvCollectiveExecutor, make_scheduler
 from repro.trace import (
     CollectiveType,
@@ -84,6 +97,7 @@ __all__ = [
     "AnalyticalNetwork",
     "Breakdown",
     "BuildingBlock",
+    "CheckpointConfig",
     "CollectiveRecord",
     "CollectiveType",
     "DeadlockError",
@@ -92,6 +106,9 @@ __all__ = [
     "EventEngine",
     "ExecutionEngine",
     "ExecutionTrace",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultSpec",
     "FlowLevelNetwork",
     "GarnetLiteNetwork",
     "HierMemConfig",
@@ -102,6 +119,7 @@ __all__ = [
     "MultiDimTopology",
     "NodeType",
     "ParallelismSpec",
+    "ResilienceReport",
     "RooflineCompute",
     "RunResult",
     "SendRecvCollectiveExecutor",
@@ -125,6 +143,7 @@ __all__ = [
     "load_trace",
     "make_scheduler",
     "moe_1t",
+    "parse_faults",
     "parse_topology",
     "save_trace",
     "simulate",

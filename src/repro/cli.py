@@ -49,8 +49,39 @@ def _parse_floats(text: str) -> List[float]:
 
 def _build_topology(args: argparse.Namespace):
     latencies = _parse_floats(args.latencies) if args.latencies else ()
-    return repro.parse_topology(args.topology, _parse_floats(args.bandwidths),
-                                latencies_ns=list(latencies))
+    bandwidths = _parse_floats(args.bandwidths)
+    num_dims = len([s for s in args.topology.split("_") if s.strip()])
+    if len(bandwidths) != num_dims:
+        raise SystemExit(
+            f"error: --bandwidths lists {len(bandwidths)} value(s) but "
+            f"topology {args.topology!r} has {num_dims} dimension(s); "
+            "give one bandwidth per dimension")
+    if latencies and len(latencies) != num_dims:
+        raise SystemExit(
+            f"error: --latencies lists {len(latencies)} value(s) but "
+            f"topology {args.topology!r} has {num_dims} dimension(s)")
+    try:
+        return repro.parse_topology(args.topology, bandwidths,
+                                    latencies_ns=list(latencies))
+    except repro.TopologyError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _parallel_degrees(args: argparse.Namespace, topology, mp: int, pp: int = 1):
+    """Validate mp/pp against the NPU count and auto-compute dp."""
+    shard = mp * pp
+    if shard < 1 or topology.num_npus % shard != 0:
+        flags = f"--mp {mp}" + (f" x --pp {pp}" if pp > 1 else "")
+        raise SystemExit(
+            f"error: {flags} does not divide the topology's "
+            f"{topology.num_npus} NPUs; pick degrees whose product divides "
+            "the NPU count")
+    dp = args.dp or topology.num_npus // shard
+    if mp * pp * dp > topology.num_npus:
+        raise SystemExit(
+            f"error: mp x pp x dp = {mp * pp * dp} exceeds the topology's "
+            f"{topology.num_npus} NPUs")
+    return dp
 
 
 def _build_traces(args: argparse.Namespace, topology):
@@ -66,7 +97,7 @@ def _build_traces(args: argparse.Namespace, topology):
     model = transformer_1t() if args.workload == "transformer1t" else gpt3_175b()
     if args.workload in ("gpt3", "transformer1t"):
         mp = args.mp or 16
-        dp = args.dp or topology.num_npus // mp
+        dp = _parallel_degrees(args, topology, mp)
         return generate_megatron_hybrid(
             model, topology, ParallelismSpec(mp=mp, dp=dp))
     if args.workload == "fsdp-gpt3":
@@ -76,11 +107,58 @@ def _build_traces(args: argparse.Namespace, topology):
     if args.workload == "pp-gpt3":
         mp = args.mp or 1
         pp = args.pp or 8
-        dp = args.dp or topology.num_npus // (mp * pp)
+        dp = _parallel_degrees(args, topology, mp, pp)
         return generate_pipeline_parallel(
             gpt3_175b(), topology, ParallelismSpec(mp=mp, pp=pp, dp=dp),
             microbatches=args.microbatches)
     raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def _checkpoint_config(args: argparse.Namespace, topology):
+    """Build the checkpoint model from CLI flags (None when disabled)."""
+    if not args.checkpoint_interval_ms:
+        return None
+    from repro.faults import CheckpointConfig
+
+    interval_ns = args.checkpoint_interval_ms * 1e6
+    if args.workload in ("gpt3", "transformer1t"):
+        from repro.memory.capacity import transformer_footprint
+
+        model = (transformer_1t() if args.workload == "transformer1t"
+                 else gpt3_175b())
+        mp = args.mp or 16
+        dp = _parallel_degrees(args, topology, mp)
+        footprint = transformer_footprint(model, ParallelismSpec(mp=mp, dp=dp))
+        return CheckpointConfig.from_footprint(footprint, interval_ns)
+    return CheckpointConfig(interval_ns=interval_ns,
+                            snapshot_bytes=args.checkpoint_gib * (1 << 30))
+
+
+def _fault_schedule(args: argparse.Namespace, topology, horizon_ns: float):
+    """Assemble the schedule from --faults specs and/or --fault-seed."""
+    from repro.faults import FaultSchedule, FaultSpecError
+
+    schedules = []
+    try:
+        for text in args.faults or ():
+            schedules.append(FaultSchedule.parse(text))
+    except FaultSpecError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.fault_seed is not None:
+        schedules.append(FaultSchedule.generate(
+            seed=args.fault_seed,
+            num_npus=topology.num_npus,
+            num_dims=topology.num_dims,
+            horizon_ns=horizon_ns,
+            straggler_mtbf_ns=horizon_ns / 4,
+            stall_mtbf_ns=horizon_ns / 8,
+            degrade_mtbf_ns=horizon_ns / 8,
+            linkdown_mtbf_ns=horizon_ns / 8,
+            straggler_duration_ns=(horizon_ns / 20, horizon_ns / 4),
+            stall_duration_ns=(horizon_ns / 50, horizon_ns / 10),
+            degrade_duration_ns=(horizon_ns / 20, horizon_ns / 4),
+        ))
+    return FaultSchedule.merge(schedules)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -96,7 +174,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
             mem_bandwidth_gbps=args.hbm_gbps,
         ),
     )
-    result = repro.simulate(traces, config)
+    resilience = None
+    if args.faults or args.fault_seed is not None:
+        if args.backend != "analytical":
+            raise SystemExit(
+                "error: --faults/--fault-seed require --backend analytical")
+        import dataclasses
+
+        # Fault-free baseline: the exact time-lost reference, and the
+        # horizon seeded schedules are drawn over.
+        baseline = repro.simulate(traces, config)
+        schedule = _fault_schedule(args, topology, baseline.total_time_ns)
+        try:
+            config = dataclasses.replace(
+                config, faults=schedule,
+                checkpoint=_checkpoint_config(args, topology))
+            traces = _build_traces(args, topology)  # fresh node state
+            result = repro.simulate(traces, config)
+        except repro.faults.FaultSpecError as exc:
+            raise SystemExit(f"error: {exc}")
+        if result.resilience is not None:
+            result.resilience.baseline_ns = baseline.total_time_ns
+            resilience = result.resilience
+    else:
+        result = repro.simulate(traces, config)
     print(f"topology : {topology.notation()}  ({topology.num_npus} NPUs)")
     print(f"workload : {args.workload}  scheduler: {args.scheduler}  "
           f"chunks: {args.chunks}")
@@ -105,6 +206,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"{result.events_processed} events)")
     print()
     print(format_breakdown_table({args.workload: result.breakdown}))
+    if resilience is not None:
+        print("\nresilience:")
+        print(resilience.format())
+    elif args.faults or args.fault_seed is not None:
+        print("\nresilience: schedule was empty; run matches the baseline")
     if args.collectives:
         print("\ncollectives:")
         for record in result.collectives[: args.collectives]:
@@ -175,6 +281,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--microbatches", type=int, default=4)
     run.add_argument("--peak-tflops", type=float, default=234.0)
     run.add_argument("--hbm-gbps", type=float, default=2039.0)
+    run.add_argument("--faults", action="append", metavar="SPEC",
+                     help="inject faults, e.g. 'straggler@npu3:1.5x@t=2ms' "
+                          "(repeatable; ';' separates specs; see "
+                          "repro.faults for the grammar)")
+    run.add_argument("--fault-seed", type=int, default=None, metavar="SEED",
+                     help="also draw a seeded random fault schedule over "
+                          "the run's fault-free duration (deterministic "
+                          "per seed)")
+    run.add_argument("--checkpoint-interval-ms", type=float, default=0.0,
+                     help="checkpoint period for the resilience report's "
+                          "restart/replay accounting (0 = no checkpoints)")
+    run.add_argument("--checkpoint-gib", type=float, default=16.0,
+                     help="per-NPU snapshot size for non-transformer "
+                          "workloads (transformer workloads derive it from "
+                          "the model-state footprint)")
     run.add_argument("--collectives", type=int, default=0,
                      help="print the first N collective records")
     run.add_argument("--json-out", default="",

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.faults.checkpoint import CheckpointConfig
+from repro.faults.spec import FaultSchedule
 from repro.memory.api import MemoryModel
 from repro.memory.inswitch import InSwitchCollectiveMemory
 from repro.memory.local import LocalMemory
@@ -41,6 +43,12 @@ class SystemConfig:
             trace contains remote tensors.
         fabric_collectives: In-switch collective model; required if any
             trace routes collectives via the memory fabric.
+        faults: Deterministic fault schedule to inject (stragglers,
+            stalls, link degradation/failure, permanent NPU loss); an
+            empty or absent schedule leaves the run bit-identical to a
+            fault-free build.  Requires the analytical backend.
+        checkpoint: Checkpoint/restart cost model used by the resilience
+            report to price permanent failures.
     """
 
     topology: MultiDimTopology
@@ -57,6 +65,8 @@ class SystemConfig:
     )
     remote_memory: Optional[MemoryModel] = None
     fabric_collectives: Optional[InSwitchCollectiveMemory] = None
+    faults: Optional[FaultSchedule] = None
+    checkpoint: Optional[CheckpointConfig] = None
 
     def __post_init__(self) -> None:
         if self.collective_chunks < 1:
@@ -68,6 +78,10 @@ class SystemConfig:
                 f"network_backend must be 'analytical', 'garnet', or "
                 f"'flow', got {self.network_backend!r}"
             )
+        if self.faults and self.network_backend != "analytical":
+            raise ValueError(
+                "fault injection requires the analytical network backend, "
+                f"got {self.network_backend!r}")
         # Fail fast on bad scheduler names rather than at first collective.
         from repro.system.scheduler import make_scheduler
 

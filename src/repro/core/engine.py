@@ -68,6 +68,9 @@ class ExecutionEngine:
         self.config = config
         self.network = network
         self.scheduler = scheduler
+        # Fault-injection state; attached by the Simulator only when a
+        # non-empty schedule is configured (None = zero-cost no-op path).
+        self.faults = None
         self.traces = dict(traces)
         self.activity = ActivityLog()
         self.collective_records: List[CollectiveRecord] = []
@@ -160,6 +163,20 @@ class ExecutionEngine:
             port = table[npu] = DimPort()
         return port
 
+    def stall_npu(self, npu: int, duration_ns: float) -> float:
+        """Freeze an NPU's compute unit for ``duration_ns`` (fault hook).
+
+        The stall occupies the compute resource, so every compute node
+        issued during the window queues behind it; the time surfaces as
+        idle in the breakdown.  Returns the time actually reserved (0.0
+        for NPUs that are symmetric replicas without a trace).
+        """
+        if npu not in self.traces:
+            return 0.0
+        self._resource(self._compute_unit, npu).reserve(
+            self.engine.now, duration_ns)
+        return duration_ns
+
     # -- node dispatch -----------------------------------------------------------------
 
     def _issue(self, npu: int, node: ETNode) -> None:
@@ -181,6 +198,8 @@ class ExecutionEngine:
 
     def _issue_compute(self, npu: int, node: ETNode) -> None:
         duration = self.config.compute.compute_time_ns(node.flops, node.tensor_bytes)
+        if self.faults is not None and not self.faults.idle:
+            duration = self.faults.stretch_compute(npu, duration)
         start, end = self._resource(self._compute_unit, npu).reserve(
             self.engine.now, duration
         )
@@ -273,7 +292,7 @@ class ExecutionEngine:
         if set(rendezvous.arrived) == rendezvous.participants:
             del self._rendezvous[instance_key]
             self._start_collective(
-                node, dims, rep, len(group), rendezvous, group_shape
+                node, dims, rep, group, rendezvous, group_shape
             )
 
     def _shape_of(
@@ -304,10 +323,11 @@ class ExecutionEngine:
         node: ETNode,
         dims: Tuple[int, ...],
         rep: int,
-        group_size: int,
+        group: Tuple[int, ...],
         rendezvous: _CollectiveRendezvous,
         group_shape: Optional[Dict[int, int]] = None,
     ) -> None:
+        group_size = len(group)
         op = CollectiveOperation(
             engine=self.engine,
             network=self.network,
@@ -318,6 +338,7 @@ class ExecutionEngine:
             payload_bytes=node.tensor_bytes,
             num_chunks=self.config.collective_chunks,
             group_shape=group_shape,
+            group_members=group,
         )
 
         def on_complete() -> None:

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.stats.breakdown import ActivityLog, Breakdown
+from repro.stats.resilience import ResilienceReport
 
 
 @dataclass
@@ -44,6 +45,8 @@ class RunResult:
         collectives: Per-collective records in completion order.
         activity: The raw per-NPU interval log (drives timeline rendering
             via :mod:`repro.stats.timeline`).
+        resilience: Fault/checkpoint accounting; present only when a
+            fault schedule was injected.
     """
 
     total_time_ns: float
@@ -53,6 +56,7 @@ class RunResult:
     events_processed: int
     collectives: List[CollectiveRecord] = field(default_factory=list)
     activity: Optional[ActivityLog] = None
+    resilience: Optional[ResilienceReport] = None
 
     @property
     def total_time_ms(self) -> float:

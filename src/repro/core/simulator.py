@@ -48,6 +48,15 @@ class Simulator:
             scheduler=self.scheduler,
             traces=traces,
         )
+        # An empty/absent schedule installs nothing: every fault hook then
+        # stays on its None fast path and results are bit-identical to a
+        # build without the faults subsystem.
+        self.injector = None
+        if config.faults:
+            from repro.faults.injector import FaultInjector
+
+            self.injector = FaultInjector(config.faults, config.topology)
+            self.injector.install(self.engine, self.network, self.execution)
 
     def run(self) -> RunResult:
         """Run to completion and collect results."""
@@ -59,6 +68,10 @@ class Simulator:
         from repro.stats.breakdown import Breakdown
 
         breakdown = Breakdown.merge(list(per_npu.values()))
+        resilience = None
+        if self.injector is not None:
+            resilience = self.injector.report(
+                total_ns=total, checkpoint=self.config.checkpoint)
         return RunResult(
             total_time_ns=total,
             breakdown=breakdown,
@@ -67,6 +80,7 @@ class Simulator:
             events_processed=self.engine.events_processed,
             collectives=list(self.execution.collective_records),
             activity=self.execution.activity,
+            resilience=resilience,
         )
 
 

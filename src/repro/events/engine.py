@@ -116,15 +116,28 @@ class EventEngine:
 
         Returns the final simulation time.  Events scheduled exactly at
         ``until`` still fire (the bound is inclusive).
+
+        Clock semantics: with ``until`` given, the clock always ends at
+        exactly ``until`` when the run is not cut short — including when
+        the queue is empty to begin with or drains early — so ``run(until=T)``
+        reliably means "advance simulated time to T".  The clock stays
+        where the last event fired only when :meth:`stop` was called or
+        ``max_events`` was exhausted (both leave work pending).  ``until``
+        in the past raises :class:`SimulationError`.
         """
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until t={until} before current time t={self._now}")
         self._running = True
         self._stopped = False
         fired = 0
+        truncated = False  # stop() or max_events left events unfired
         try:
             while self._queue:
                 if self._stopped:
+                    truncated = True
                     break
                 event = self._queue[0]
                 if event.cancelled:
@@ -134,12 +147,16 @@ class EventEngine:
                     self._now = until
                     break
                 if max_events is not None and fired >= max_events:
+                    truncated = True
                     break
                 heapq.heappop(self._queue)
                 self._now = event.time
                 self._events_processed += 1
                 fired += 1
                 event.fn(*event.args)
+            if (until is not None and not truncated and not self._stopped
+                    and self._now < until):
+                self._now = until
         finally:
             self._running = False
         return self._now

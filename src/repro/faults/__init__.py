@@ -1,0 +1,61 @@
+"""Deterministic fault injection and resilience modeling.
+
+Turns the simulator from an ideal-hardware cost model into a resilience
+design-space-exploration tool: seeded, reproducible fault schedules
+(stragglers, stalls, link degradation/failure, permanent NPU loss) are
+injected into a run, and a :class:`~repro.stats.resilience.ResilienceReport`
+accounts for the time they cost — including the analytic
+checkpoint/restart overheads of permanent failures.
+
+Quickstart::
+
+    import repro
+    from repro.faults import FaultSchedule
+
+    topo = repro.parse_topology("Ring(16)", [100])
+    traces = repro.generate_single_collective(
+        topo, repro.CollectiveType.ALL_REDUCE, payload_bytes=1 << 28)
+    config = repro.SystemConfig(
+        topology=topo,
+        faults=FaultSchedule.parse("straggler@npu3:1.5x@t=0"))
+    result = repro.simulate(traces, config)
+    print(result.resilience.format())
+"""
+
+from repro.faults.checkpoint import (
+    CheckpointConfig,
+    checkpoint_overhead_ns,
+    num_checkpoints,
+    optimal_interval_ns,
+    resilience_overheads,
+    restart_cost_ns,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import (
+    LINK_DOWN_DEFAULT_FACTOR,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+    FaultSpecError,
+    parse_fault,
+    parse_faults,
+    parse_time_ns,
+)
+
+__all__ = [
+    "CheckpointConfig",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultSpecError",
+    "LINK_DOWN_DEFAULT_FACTOR",
+    "checkpoint_overhead_ns",
+    "num_checkpoints",
+    "optimal_interval_ns",
+    "parse_fault",
+    "parse_faults",
+    "parse_time_ns",
+    "resilience_overheads",
+    "restart_cost_ns",
+]

@@ -60,6 +60,10 @@ class AnalyticalNetwork(NetworkBackend):
 
     def __init__(self, engine: EventEngine, topology: MultiDimTopology) -> None:
         super().__init__(engine, topology)
+        # Fault-injection state (repro.faults.FaultInjector), attached only
+        # when a non-empty schedule is configured; None keeps every hook on
+        # the exact pre-fault code path (bit-identical results).
+        self.faults = None
         self._ports: Dict[Tuple[int, int], DimPort] = {}
         # Port time planned by chunk schedulers but not yet reserved —
         # lets concurrent collectives see each other's commitments.
@@ -147,8 +151,15 @@ class AnalyticalNetwork(NetworkBackend):
     # -- point-to-point -------------------------------------------------------------
 
     def serialization_time(self, size_bytes: int, dim: int) -> float:
-        """Bandwidth term: size / per-dim injection bandwidth, in ns."""
+        """Bandwidth term: size / per-dim injection bandwidth, in ns.
+
+        Active whole-dimension degradation faults scale the bandwidth, so
+        transfers priced after a fault activates — including later phases
+        of an in-flight operation — see the degraded rate.
+        """
         bw = self.topology.dims[dim].bandwidth_gbps  # GB/s == bytes/ns
+        if self.faults is not None and not self.faults.idle:
+            bw *= self.faults.bandwidth_scale(dim)
         return size_bytes / bw
 
     def propagation_time(self, src: int, dest: int) -> float:
@@ -191,6 +202,8 @@ class AnalyticalNetwork(NetworkBackend):
         # contended injection point; the remaining dimensions relay at
         # line rate (store-and-forward) without modeled contention.
         inject = self.serialization_time(message.size_bytes, dims[0])
+        if self.faults is not None and not self.faults.idle:
+            inject = self.faults.stretch_p2p(message.src, dims[0], inject)
         _, sent_at = self.reserve_port(message.src, dims[0], inject)
         relay = sum(self.serialization_time(message.size_bytes, d)
                     for d in dims[1:])

@@ -14,6 +14,7 @@ from repro.stats.breakdown import (
     compute_breakdown,
 )
 from repro.stats.report import format_breakdown_table, format_table
+from repro.stats.resilience import FaultRecord, ResilienceReport
 from repro.stats.chrometrace import dump_chrome_trace, to_chrome_trace
 from repro.stats.timeline import render_timeline, utilization_by_npu
 from repro.stats.export import (
@@ -32,6 +33,8 @@ __all__ = [
     "Activity",
     "ActivityLog",
     "Breakdown",
+    "FaultRecord",
+    "ResilienceReport",
     "compute_breakdown",
     "format_breakdown_table",
     "format_table",

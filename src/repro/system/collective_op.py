@@ -77,6 +77,9 @@ class CollectiveOperation:
         num_chunks: Pipelining degree.
         group_shape: Effective group size per dimension for sub-dimension
             communicators; defaults to the physical dimension sizes.
+        group_members: Member NPU ids, consulted by fault injection so a
+            straggler stretches only the collectives it participates in;
+            ``None`` conservatively means "any NPU may be a member".
         on_complete: Fired once, when the last chunk finishes.
     """
 
@@ -91,6 +94,7 @@ class CollectiveOperation:
         payload_bytes: float,
         num_chunks: int = DEFAULT_NUM_CHUNKS,
         group_shape: Optional[Mapping[int, int]] = None,
+        group_members: Optional[Sequence[int]] = None,
         on_complete: Optional[Callable[[], None]] = None,
     ) -> None:
         if num_chunks < 1:
@@ -105,6 +109,9 @@ class CollectiveOperation:
         self.on_complete = on_complete
         self.num_chunks = num_chunks
         self.payload_bytes = payload_bytes
+        self.group_members: Optional[frozenset] = (
+            frozenset(group_members) if group_members is not None else None
+        )
         topo = network.topology
         self.dim_specs: Dict[int, DimSpec] = {}
         for d in sorted(set(comm_dims)):
@@ -159,6 +166,12 @@ class CollectiveOperation:
         roundtrip = self.collective is CollectiveType.ALL_REDUCE
         chunk_payload = self._initial_chunk_payload()
         balanced = getattr(self.scheduler, "balanced_plan", None)
+        if balanced is not None and self.network.faults is not None:
+            # The fluid limit prices the whole collective against the
+            # bandwidths seen at start; with fault injection active the
+            # capacity is time-varying, so fall back to chunk-by-chunk
+            # execution, which re-prices every phase when it launches.
+            balanced = None
         if balanced is not None:
             plan = balanced(
                 network=self.network,
@@ -210,9 +223,12 @@ class CollectiveOperation:
         the pipeline-fill ramp a chunked schedule pays.
         """
         finish_at = self.engine.now + plan.fill_ns
+        faults = self.network.faults
         for dim, load in plan.loads_ns.items():
             if load <= 0.0:
                 continue
+            if faults is not None and not faults.idle:
+                load = faults.stretch_collective(dim, self.group_members, load)
             _, end = self.network.reserve_port(self.rep_npu, dim, load)
             finish_at = max(finish_at, end + plan.fill_ns)
             self.traffic_by_dim[dim] += plan.traffic_bytes.get(dim, 0.0)
@@ -252,6 +268,12 @@ class CollectiveOperation:
                     chunk.ag_shards.append(chunk.payload)
             elif kind is PhaseKind.ALL_GATHER:
                 chunk.payload *= spec.size
+        # A synchronous phase paces at its slowest member: active faults
+        # (stragglers, sick links, degraded dims) stretch the port time of
+        # every phase that starts while they are active.
+        faults = self.network.faults
+        if faults is not None and not faults.idle:
+            busy = faults.stretch_collective(dim, self.group_members, busy)
         # The port serializes the traffic; the propagation latency delays
         # only this chunk (the next chunk's serialization overlaps it).
         self.network.consume_pending(self.rep_npu, dim, busy)

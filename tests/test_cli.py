@@ -105,3 +105,86 @@ class TestTopologyInfo:
         assert "32 NPUs" in out
         assert "halving_doubling" in out
         assert "ring" in out
+
+
+class TestValidation:
+    """Bad flag combinations exit with a clear message, not a traceback."""
+
+    def test_bandwidth_count_mismatch(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["run", "--topology", "Ring(4)_Switch(2)",
+                  "--bandwidths", "100"])
+        message = str(exc_info.value)
+        assert "1 value(s)" in message
+        assert "2 dimension(s)" in message
+
+    def test_latency_count_mismatch(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["run", "--topology", "Ring(4)_Switch(2)",
+                  "--bandwidths", "100,50", "--latencies", "500"])
+        assert "dimension" in str(exc_info.value)
+
+    def test_mp_must_divide_npus(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["run", "--topology", "Ring(4)_Switch(2)",
+                  "--bandwidths", "100,50", "--workload", "gpt3", "--mp", "3"])
+        message = str(exc_info.value)
+        assert "--mp 3" in message
+        assert "8 NPUs" in message
+
+    def test_pp_product_must_divide_npus(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["run", "--topology", "Ring(8)", "--bandwidths", "100",
+                  "--workload", "pp-gpt3", "--mp", "1", "--pp", "3"])
+        assert "does not divide" in str(exc_info.value)
+
+    def test_dividing_mp_still_works(self, capsys):
+        code = main(["run", "--topology", "Ring(4)_Switch(2)",
+                     "--bandwidths", "100,50", "--workload", "gpt3",
+                     "--mp", "8"])
+        assert code == 0
+        assert "gpt3" in capsys.readouterr().out
+
+
+class TestFaultFlags:
+    def test_faults_print_resilience_report(self, capsys):
+        code = main(["run", "--topology", "Ring(8)", "--bandwidths", "100",
+                     "--workload", "allreduce", "--payload-mib", "64",
+                     "--faults", "straggler@npu3:1.5x@t=0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resilience:" in out
+        assert "baseline" in out
+        assert "goodput" in out
+        assert "straggler@npu3:1.5x@t=0.0ns" in out
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["run", "--topology", "Ring(8)", "--bandwidths", "100",
+                  "--faults", "nonsense@npu1@t=0"])
+        assert "unknown fault kind" in str(exc_info.value)
+
+    def test_fault_target_beyond_topology_rejected(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["run", "--topology", "Ring(8)", "--bandwidths", "100",
+                  "--faults", "straggler@npu99:2x@t=0"])
+        assert "npu 99" in str(exc_info.value)
+
+    def test_fault_seed_is_deterministic(self, capsys):
+        argv = ["run", "--topology", "Ring(8)", "--bandwidths", "100",
+                "--workload", "allreduce", "--payload-mib", "32",
+                "--fault-seed", "11", "--checkpoint-interval-ms", "1"]
+        assert main(list(argv)) == 0
+        first = capsys.readouterr().out
+        assert main(list(argv)) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "resilience" in first
+
+    def test_faults_require_analytical_backend(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["run", "--topology", "Ring(8)", "--bandwidths", "100",
+                  "--workload", "pp-gpt3", "--pp", "8", "--dp", "1",
+                  "--mp", "1", "--backend", "flow",
+                  "--faults", "straggler@npu1:2x@t=0"])
+        assert "analytical" in str(exc_info.value)

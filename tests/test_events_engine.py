@@ -161,3 +161,61 @@ def test_reentrant_run_rejected():
     engine.schedule(1.0, reenter)
     engine.run()
     assert len(errors) == 1
+
+
+class TestRunUntilClockSemantics:
+    """run(until=T) must always leave the clock at T unless cut short."""
+
+    def test_empty_queue_advances_to_until(self):
+        engine = EventEngine()
+        assert engine.run(until=7.0) == 7.0
+        assert engine.now == 7.0
+
+    def test_queue_drains_before_until_advances_to_until(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(2.0, fired.append, "a")
+        assert engine.run(until=10.0) == 10.0
+        assert fired == ["a"]
+        assert engine.now == 10.0
+
+    def test_only_cancelled_events_advances_to_until(self):
+        engine = EventEngine()
+        engine.schedule(3.0, lambda: None).cancel()
+        assert engine.run(until=5.0) == 5.0
+
+    def test_run_until_after_stop_advances(self):
+        engine = EventEngine()
+        engine.schedule(1.0, engine.stop)
+        engine.schedule(9.0, lambda: None)
+        engine.run()
+        assert engine.now == 1.0  # stop leaves the clock at the event
+        # A fresh run(until=...) resumes normal clock semantics.
+        assert engine.run(until=20.0) == 20.0
+
+    def test_stop_does_not_advance_to_until(self):
+        engine = EventEngine()
+        engine.schedule(1.0, engine.stop)
+        assert engine.run(until=50.0) == 1.0
+
+    def test_max_events_does_not_advance_to_until(self):
+        engine = EventEngine()
+        for i in range(5):
+            engine.schedule(float(i), lambda: None)
+        assert engine.run(until=100.0, max_events=2) == 1.0
+        assert engine.pending == 3
+
+    def test_until_in_the_past_rejected(self):
+        engine = EventEngine()
+        engine.schedule(10.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run(until=5.0)
+
+    def test_scheduling_relative_to_advanced_clock(self):
+        engine = EventEngine()
+        engine.run(until=100.0)
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [101.0]

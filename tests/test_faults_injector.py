@@ -1,0 +1,235 @@
+"""Unit tests for the runtime fault injector and the checkpoint model."""
+
+import math
+
+import pytest
+
+from repro.events import EventEngine
+from repro.faults import (
+    CheckpointConfig,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpecError,
+    checkpoint_overhead_ns,
+    num_checkpoints,
+    optimal_interval_ns,
+    restart_cost_ns,
+)
+from repro.faults.checkpoint import DEFAULT_RESTART_OVERHEAD_NS
+from repro.memory.capacity import TransformerSpec, transformer_footprint
+from repro.network import AnalyticalNetwork, parse_topology
+from repro.workload import ParallelismSpec
+
+
+def make_injector(spec_text, topo_text="Ring(8)_Switch(2)"):
+    topology = parse_topology(topo_text, [100] * len(topo_text.split("_")))
+    engine = EventEngine()
+    network = AnalyticalNetwork(engine, topology)
+    injector = FaultInjector(FaultSchedule.parse(spec_text), topology)
+    injector.install(engine, network)
+    return engine, network, injector
+
+
+class TestTargetValidation:
+    def test_npu_out_of_range(self):
+        topology = parse_topology("Ring(4)", [100])
+        with pytest.raises(FaultSpecError, match="npu 9"):
+            FaultInjector(FaultSchedule.parse("fail@npu9@t=0"), topology)
+
+    def test_dim_out_of_range(self):
+        topology = parse_topology("Ring(4)", [100])
+        with pytest.raises(FaultSpecError, match="dim 1"):
+            FaultInjector(
+                FaultSchedule.parse("degrade@dim1:0.5x@t=0"), topology)
+
+    def test_valid_targets_accepted(self):
+        topology = parse_topology("Ring(4)_Switch(2)", [100, 50])
+        FaultInjector(
+            FaultSchedule.parse(
+                "fail@npu7@t=0; degrade@dim1:0.5x@t=0; linkdown@dim0:link3@t=0"),
+            topology)
+
+
+class TestActivationWindows:
+    def test_straggler_active_only_in_window(self):
+        engine, _, injector = make_injector(
+            "straggler@npu3:2x@t=100@for=100")
+        assert injector.compute_factor(3) == 1.0
+        engine.run(until=150)
+        assert injector.compute_factor(3) == 2.0
+        assert injector.compute_factor(4) == 1.0
+        engine.run(until=300)
+        assert injector.compute_factor(3) == 1.0
+
+    def test_open_ended_fault_never_clears(self):
+        engine, _, injector = make_injector("degrade@dim0:0.5x@t=100")
+        engine.run(until=1e9)
+        assert injector.bandwidth_scale(0) == 0.5
+
+    def test_overlapping_faults_compose(self):
+        engine, _, injector = make_injector(
+            "straggler@npu0:2x@t=0@for=1000; straggler@npu0:3x@t=0@for=1000")
+        engine.run(until=10)
+        assert injector.compute_factor(0) == 6.0
+
+    def test_linkdown_scale(self):
+        engine, _, injector = make_injector("linkdown@dim1:link2@t=0@for=500")
+        engine.run(until=10)
+        assert injector.link_scale(1, 2) == 0.5
+        assert injector.link_scale(1, 3) == 1.0
+        assert injector.link_scale(0, 2) == 1.0
+
+    def test_records_track_lifecycle(self):
+        engine, _, injector = make_injector("straggler@npu0:2x@t=100@for=50")
+        (record,) = injector.records
+        assert record.activated_ns is None and not record.fired
+        engine.run(until=1000)
+        assert record.activated_ns == 100
+        assert record.cleared_ns == 150
+
+    def test_failure_times_recorded(self):
+        engine, _, injector = make_injector("fail@npu1@t=250; fail@npu2@t=750")
+        engine.run(until=1000)
+        assert injector.failure_times == [250, 750]
+
+
+class TestStretchHooks:
+    def test_stretch_compute_charges_straggler(self):
+        engine, _, injector = make_injector("straggler@npu5:1.5x@t=0@for=1e6")
+        engine.run(until=10)
+        assert injector.stretch_compute(5, 1000.0) == 1500.0
+        assert injector.stretch_compute(6, 1000.0) == 1000.0
+        (record,) = injector.records
+        assert record.extra_ns == pytest.approx(500.0)
+
+    def test_stretch_p2p_combines_straggler_and_link(self):
+        engine, _, injector = make_injector(
+            "straggler@npu2:2x@t=0@for=1e6; linkdown@dim0:link2@t=0@for=1e6")
+        engine.run(until=10)
+        # 2x slower sender through a half-bandwidth link: 4x injection time.
+        assert injector.stretch_p2p(2, 0, 100.0) == pytest.approx(400.0)
+        # Even attribution split between the two contributing faults.
+        extras = sorted(r.extra_ns for r in injector.records)
+        assert extras == pytest.approx([150.0, 150.0])
+
+    def test_stretch_collective_uses_worst_member(self):
+        engine, _, injector = make_injector(
+            "straggler@npu1:1.2x@t=0@for=1e6; straggler@npu4:1.5x@t=0@for=1e6")
+        engine.run(until=10)
+        assert injector.stretch_collective(0, None, 1000.0) == \
+            pytest.approx(1500.0)
+
+    def test_stretch_collective_respects_membership(self):
+        engine, _, injector = make_injector("straggler@npu4:1.5x@t=0@for=1e6")
+        engine.run(until=10)
+        stretched = injector.stretch_collective(0, frozenset({0, 1, 2}), 1000.0)
+        assert stretched == 1000.0  # straggler not in the group
+        stretched = injector.stretch_collective(0, frozenset({3, 4, 5}), 1000.0)
+        assert stretched == pytest.approx(1500.0)
+
+    def test_stretch_collective_dim_degrade(self):
+        engine, _, injector = make_injector("degrade@dim1:0.5x@t=0@for=1e6")
+        engine.run(until=10)
+        assert injector.stretch_collective(1, None, 1000.0) == \
+            pytest.approx(2000.0)
+        assert injector.stretch_collective(0, None, 1000.0) == 1000.0
+
+    def test_serialization_time_scales_with_degrade(self):
+        engine, network, injector = make_injector("degrade@dim0:0.5x@t=0")
+        # Before activation (t=0 event not fired yet) vs after.
+        base = network.serialization_time(1000, 0)
+        engine.run(until=10)
+        degraded = network.serialization_time(1000, 0)
+        assert degraded == pytest.approx(2 * base)
+
+
+class TestReport:
+    def test_report_counts_failures_and_restarts(self):
+        engine, _, injector = make_injector("fail@npu0@t=1e6")
+        engine.run(until=2e6)
+        config = CheckpointConfig(interval_ns=1e5, snapshot_bytes=1e6,
+                                  write_bandwidth_gbps=100.0,
+                                  restart_overhead_ns=1e6)
+        report = injector.report(total_ns=2e6, checkpoint=config)
+        assert report.num_failures == 1
+        assert report.num_checkpoints == 20
+        assert report.checkpoint_overhead_ns == pytest.approx(20 * 1e4)
+        # Failure at exactly a boundary: replay 0, overhead + reload only.
+        assert report.restart_lost_ns == pytest.approx(1e6 + 1e4)
+
+    def test_report_baseline_degradation(self):
+        engine, _, injector = make_injector("straggler@npu0:2x@t=0@for=1e6")
+        engine.run(until=1e6)
+        report = injector.report(total_ns=1.5e6, baseline_ns=1.0e6)
+        assert report.degradation_ns == pytest.approx(0.5e6)
+        assert report.effective_total_ns == pytest.approx(1.5e6)
+
+    def test_format_renders(self):
+        engine, _, injector = make_injector(
+            "straggler@npu0:2x@t=0@for=100; fail@npu1@t=500")
+        engine.run(until=1000)
+        text = injector.report(total_ns=1000.0).format()
+        assert "straggler" in text
+        assert "fail" in text
+        assert "permanent failure" in text
+
+
+class TestCheckpointModel:
+    def test_snapshot_ns(self):
+        config = CheckpointConfig(interval_ns=1e9, snapshot_bytes=2.5e9,
+                                  write_bandwidth_gbps=25.0)
+        assert config.snapshot_ns == pytest.approx(1e8)
+
+    def test_num_checkpoints_and_overhead(self):
+        config = CheckpointConfig(interval_ns=1e6, snapshot_bytes=100.0,
+                                  write_bandwidth_gbps=1.0)
+        assert num_checkpoints(config, 5.5e6) == 5
+        assert checkpoint_overhead_ns(config, 5.5e6) == pytest.approx(500.0)
+        assert num_checkpoints(config, 0.0) == 0
+
+    def test_no_interval_means_no_checkpoints(self):
+        config = CheckpointConfig(interval_ns=None)
+        assert num_checkpoints(config, 1e9) == 0
+        assert checkpoint_overhead_ns(config, 1e9) == 0.0
+
+    def test_restart_cost_replays_since_last_checkpoint(self):
+        config = CheckpointConfig(interval_ns=1e6, snapshot_bytes=1e3,
+                                  write_bandwidth_gbps=1.0,
+                                  restart_overhead_ns=5e5)
+        # Failure at 3.25e6: last checkpoint at 3e6, replay 0.25e6.
+        cost = restart_cost_ns(config, 3.25e6)
+        assert cost == pytest.approx(5e5 + 1e3 + 0.25e6)
+
+    def test_restart_cost_without_config_loses_prefix(self):
+        assert restart_cost_ns(None, 7e6) == \
+            pytest.approx(DEFAULT_RESTART_OVERHEAD_NS + 7e6)
+
+    def test_restart_cost_without_interval_loses_prefix(self):
+        config = CheckpointConfig(interval_ns=None, restart_overhead_ns=1e6)
+        assert restart_cost_ns(config, 7e6) == pytest.approx(1e6 + 7e6)
+
+    def test_restart_cost_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            restart_cost_ns(None, -1.0)
+
+    def test_from_footprint_uses_model_state(self):
+        model = TransformerSpec(name="toy", num_layers=12, hidden=2048,
+                                seq_len=2048)
+        footprint = transformer_footprint(model, ParallelismSpec(dp=8))
+        config = CheckpointConfig.from_footprint(footprint, interval_ns=1e9)
+        assert config.snapshot_bytes == float(footprint.model_state)
+        assert config.snapshot_ns > 0
+
+    def test_optimal_interval_is_youngs_formula(self):
+        assert optimal_interval_ns(1e8, 1e12) == \
+            pytest.approx(math.sqrt(2 * 1e8 * 1e12))
+        with pytest.raises(ValueError):
+            optimal_interval_ns(1e8, 0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointConfig(interval_ns=0.0)
+        with pytest.raises(ValueError):
+            CheckpointConfig(interval_ns=1.0, snapshot_bytes=-1.0)
+        with pytest.raises(ValueError):
+            CheckpointConfig(interval_ns=1.0, write_bandwidth_gbps=0.0)
