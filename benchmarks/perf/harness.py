@@ -1,0 +1,267 @@
+"""Performance measurement library for the event kernel and backends.
+
+Three benchmark families, all pure functions returning plain dicts:
+
+- :func:`bench_event_kernel` — events/second of the optimised
+  :class:`~repro.events.EventEngine` against the frozen seed engine
+  (:mod:`repro.events._seed_reference`) on three microbench shapes:
+  *bulk* (pre-scheduled heap drain), *batch* (the
+  :meth:`~repro.events.EventEngine.schedule_many` fire-and-forget path
+  vs the seed's one-by-one equivalent), and *chain* (self-scheduling
+  callback chain, heap stays tiny).
+- :func:`bench_scaling` — end-to-end simulation cost on the paper's
+  Conv-4D system scaled from 512 NPUs up to 32K NPUs (Sec. IV-C's
+  "profiling systems of scale at speed"), plus an A/B of the same
+  scenario with the seed engine patched in.
+- :func:`bench_backend_speedup` — wall-clock gap between the analytical
+  and Garnet-lite backends on the Sec. IV-C torus experiment.
+
+``quick=True`` shrinks problem sizes so the whole suite runs in a few
+seconds — used by the CI smoke job; the committed ``BENCH_perf.json`` is
+produced by the full run (``python benchmarks/perf/run_perf.py``).
+
+Wall times are the best of ``repeats`` runs with GC disabled — the
+standard recipe for stable Python microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Callable, Dict, List
+
+import repro
+from repro.events import EventEngine
+from repro.events._seed_reference import SeedEventEngine
+from repro.network import AnalyticalNetwork, GarnetLiteNetwork, parse_topology
+from repro.system import SendRecvCollectiveExecutor
+from repro.trace import CollectiveType
+from repro.workload import generate_single_collective
+
+GiB = 1 << 30
+MiB = 1 << 20
+
+
+def _noop() -> None:
+    pass
+
+
+def _best_wall(fn: Callable[[], int], repeats: int) -> Dict[str, float]:
+    """Run ``fn`` (returns an event count) ``repeats`` times; keep the best."""
+    best = float("inf")
+    events = 0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            gc.collect()
+            start = time.perf_counter()
+            events = fn()
+            wall = time.perf_counter() - start
+            best = min(best, wall)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {"wall_s": best, "events": events,
+            "events_per_sec": events / max(best, 1e-12)}
+
+
+# -- event-kernel microbenchmarks -------------------------------------------------
+
+
+def _run_bulk(engine_cls, n: int) -> int:
+    engine = engine_cls()
+    schedule = engine.schedule
+    for i in range(n):
+        schedule(float(i % 97), _noop)
+    engine.run()
+    return engine.events_processed
+
+
+def _run_batch_new(n: int) -> int:
+    engine = EventEngine()
+    items = [(float(i % 97), _noop) for i in range(n)]
+    engine.schedule_many(items)
+    engine.run()
+    return engine.events_processed
+
+
+def _run_batch_seed(n: int) -> int:
+    # The seed engine has no batch API: the equivalent is n schedule calls.
+    engine = SeedEventEngine()
+    items = [(float(i % 97), _noop) for i in range(n)]
+    schedule = engine.schedule
+    for delay, fn in items:
+        schedule(delay, fn)
+    engine.run()
+    return engine.events_processed
+
+
+def _run_chain(engine_cls, n: int) -> int:
+    engine = engine_cls()
+    remaining = [n]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            engine.schedule(1.0, tick)
+
+    engine.schedule(1.0, tick)
+    engine.run()
+    return engine.events_processed
+
+
+def bench_event_kernel(quick: bool = False, repeats: int = 3) -> Dict[str, dict]:
+    """Seed-vs-new events/sec on bulk, batch, and chain shapes."""
+    n_bulk = 60_000 if quick else 200_000
+    n_chain = 20_000 if quick else 100_000
+    shapes = {
+        "bulk": (lambda: _run_bulk(SeedEventEngine, n_bulk),
+                 lambda: _run_bulk(EventEngine, n_bulk)),
+        "batch": (lambda: _run_batch_seed(n_bulk),
+                  lambda: _run_batch_new(n_bulk)),
+        "chain": (lambda: _run_chain(SeedEventEngine, n_chain),
+                  lambda: _run_chain(EventEngine, n_chain)),
+    }
+    out: Dict[str, dict] = {}
+    for name, (seed_fn, new_fn) in shapes.items():
+        seed = _best_wall(seed_fn, repeats)
+        new = _best_wall(new_fn, repeats)
+        out[name] = {
+            "n_events": seed["events"],
+            "seed_events_per_sec": round(seed["events_per_sec"]),
+            "new_events_per_sec": round(new["events_per_sec"]),
+            "speedup": round(new["events_per_sec"] / seed["events_per_sec"], 2),
+        }
+    return out
+
+
+# -- end-to-end scaling -----------------------------------------------------------
+
+
+def _conv4d_system(scale: int):
+    """Paper Conv-4D scaled out: ``512 * scale`` NPUs."""
+    return repro.parse_topology(
+        f"Ring(2)_FC(8)_Ring(8)_Switch({4 * scale})",
+        [250, 200, 100, 50],
+        latencies_ns=[50, 250, 250, 500],
+    )
+
+
+def _run_scaling_scenario(scale: int) -> Dict[str, float]:
+    topology = _conv4d_system(scale)
+    traces = generate_single_collective(
+        topology, CollectiveType.ALL_REDUCE, 1 * GiB)
+    config = repro.SystemConfig(
+        topology=topology, scheduler="themis", collective_chunks=32)
+    start = time.perf_counter()
+    result = repro.simulate(traces, config)
+    wall = time.perf_counter() - start
+    return {
+        "scale": scale,
+        "npus": topology.num_npus,
+        "simulated_ms": result.total_time_ms,
+        "wall_s": round(wall, 4),
+        "events": result.events_processed,
+    }
+
+
+def _ab_seed_engine(quick: bool, repeats: int) -> Dict[str, object]:
+    """End-to-end A/B: the Sec. IV-C packet-level torus experiment run
+    with the production engine vs the frozen seed engine.
+
+    The analytical scaling scenario schedules too few events for the
+    kernel to matter (the representative-port model is the whole point),
+    so the end-to-end claim is measured where the engine *is* the
+    bottleneck: one event per packet-hop through the full
+    backend/executor stack.
+    """
+    payload = 128 * 1024 if quick else 1 * MiB
+    packet = 1024 if quick else 512
+
+    def run_with(engine_cls) -> Callable[[], int]:
+        def run_once() -> int:
+            return _torus_allreduce(
+                GarnetLiteNetwork, 4, payload,
+                engine_cls=engine_cls, packet_bytes=packet)["events"]
+        return run_once
+
+    new = _best_wall(run_with(EventEngine), repeats)
+    seed = _best_wall(run_with(SeedEventEngine), repeats)
+    return {
+        "scenario": "garnet-lite 64-NPU torus all-reduce (event-bound)",
+        "payload_bytes": payload,
+        "events": new["events"],
+        "seed_wall_s": round(seed["wall_s"], 4),
+        "new_wall_s": round(new["wall_s"], 4),
+        "end_to_end_speedup": round(seed["wall_s"] / max(new["wall_s"], 1e-12), 2),
+    }
+
+
+def bench_scaling(quick: bool = False, repeats: int = 3) -> Dict[str, object]:
+    """512 -> 32K NPU scaling rows plus a seed-engine A/B."""
+    scales = (1, 2) if quick else (1, 2, 8, 16, 64)
+    _run_scaling_scenario(1)  # warm-up: first-use imports (scipy LP) etc.
+    rows: List[Dict[str, float]] = [_run_scaling_scenario(s) for s in scales]
+    ab = _ab_seed_engine(quick, repeats=2 if quick else repeats)
+    return {"rows": rows, "seed_engine_ab": ab}
+
+
+# -- backend speedup --------------------------------------------------------------
+
+
+def _torus_allreduce(backend_cls, k: int, payload: int,
+                     engine_cls=EventEngine, **kw) -> Dict[str, float]:
+    topo = parse_topology(
+        f"Ring({k})_Ring({k})_Ring({k})", [150, 150, 150],
+        latencies_ns=[100, 100, 100])
+    engine = engine_cls()
+    net = backend_cls(engine, topo, **kw)
+    executor = SendRecvCollectiveExecutor(engine, net)
+    finished: List[float] = []
+    groups = [topo.dim_group(npu, 0) for npu in range(topo.num_npus)
+              if topo.coords(npu)[0] == 0]
+    for group in groups:
+        executor.run_ring_allreduce(list(group), payload,
+                                    on_complete=finished.append)
+    start = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - start
+    return {"collective_ns": max(finished), "wall_s": round(wall, 4),
+            "events": engine.events_processed}
+
+
+def bench_backend_speedup(quick: bool = False) -> Dict[str, object]:
+    """Sec. IV-C: analytical vs Garnet-lite on the 64-NPU torus."""
+    payload = 64 * 1024 if quick else 1 * MiB
+    packet = 1024 if quick else 512
+    analytical = _torus_allreduce(AnalyticalNetwork, 4, payload)
+    garnet = _torus_allreduce(GarnetLiteNetwork, 4, payload,
+                              packet_bytes=packet)
+    return {
+        "payload_bytes": payload,
+        "packet_bytes": packet,
+        "analytical": analytical,
+        "garnet_lite": garnet,
+        "wall_clock_speedup": round(
+            garnet["wall_s"] / max(analytical["wall_s"], 1e-9), 1),
+        "event_ratio": round(garnet["events"] / analytical["events"], 1),
+    }
+
+
+def run_all(quick: bool = False) -> Dict[str, object]:
+    """The full perf sweep as one JSON-serialisable dict."""
+    import platform
+    import sys
+
+    return {
+        "description": "Perf baseline for the event kernel and network "
+                       "backends; regenerate with "
+                       "`python benchmarks/perf/run_perf.py`.",
+        "quick": quick,
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "event_kernel": bench_event_kernel(quick=quick),
+        "scaling": bench_scaling(quick=quick),
+        "backend_speedup": bench_backend_speedup(quick=quick),
+    }

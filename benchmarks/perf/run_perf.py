@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Regenerate the committed perf baseline (``BENCH_perf.json``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick] [--out PATH]
+
+``--quick`` shrinks every benchmark to smoke-test size (seconds, used by
+CI); without it the full sweep runs and the result is meant to be
+committed at the repo root.  See ``docs/performance.md`` for what each
+section measures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from perf.harness import run_all  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke-test sizes (do not commit the output)")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_perf.json",
+                        help="output path (default: repo-root BENCH_perf.json)")
+    args = parser.parse_args(argv)
+
+    results = run_all(quick=args.quick)
+    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    kernel = results["event_kernel"]
+    print(f"wrote {args.out}")
+    for shape, row in kernel.items():
+        print(f"  event kernel [{shape:5s}]: "
+              f"{row['seed_events_per_sec']:>10,} -> "
+              f"{row['new_events_per_sec']:>10,} ev/s  "
+              f"({row['speedup']:.2f}x)")
+    ab = results["scaling"]["seed_engine_ab"]
+    print(f"  end-to-end ({ab['scenario']}): "
+          f"{ab['seed_wall_s']}s -> {ab['new_wall_s']}s "
+          f"({ab['end_to_end_speedup']}x)")
+    print(f"  backend speedup: {results['backend_speedup']['wall_clock_speedup']}x "
+          f"wall-clock (analytical vs garnet-lite)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

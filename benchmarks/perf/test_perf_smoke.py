@@ -1,0 +1,79 @@
+"""Perf smoke suite — CI gate for the hot-path optimisations.
+
+Runs every benchmark family at quick size and enforces the PR's
+acceptance floors:
+
+- the batched event-kernel hot loop is at least 3x the seed engine's
+  events/sec (per-call paths must merely not regress);
+- end-to-end simulation wall time is measurably better than with the
+  seed engine patched in;
+- the committed ``BENCH_perf.json`` baseline exists, parses, and has
+  every section.
+
+Lives outside the tier-1 ``tests/`` tree (``pyproject.toml`` testpaths):
+run with ``PYTHONPATH=src python -m pytest benchmarks/perf -q``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from perf.harness import (
+    bench_backend_speedup,
+    bench_event_kernel,
+    bench_scaling,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# Acceptance gate: the batched hot loop must beat the seed engine 3x.
+BATCH_SPEEDUP_FLOOR = 3.0
+# Stability floor for the per-call paths: they must not be slower than
+# the seed (kept below 1.0 only to absorb CI timer noise).
+PER_CALL_SPEEDUP_FLOOR = 0.9
+
+
+def test_event_kernel_speedup_gates():
+    kernel = bench_event_kernel(quick=True)
+    assert kernel["batch"]["speedup"] >= BATCH_SPEEDUP_FLOOR, kernel
+    assert kernel["bulk"]["speedup"] >= PER_CALL_SPEEDUP_FLOOR, kernel
+    assert kernel["chain"]["speedup"] >= PER_CALL_SPEEDUP_FLOOR, kernel
+
+
+def test_scaling_scenario_and_seed_ab():
+    scaling = bench_scaling(quick=True)
+    rows = scaling["rows"]
+    assert [r["npus"] for r in rows] == [512, 1024]
+    for row in rows:
+        assert row["events"] > 0 and row["wall_s"] > 0
+        assert row["simulated_ms"] > 0
+    # Symmetric collective: event count must not grow with system size
+    # (the representative-port model, paper Sec. IV-C).
+    assert rows[1]["events"] <= rows[0]["events"] * 1.5
+    # Event-bound end-to-end run must be measurably faster than with the
+    # seed engine (typically ~1.5-1.8x; 1.2 absorbs CI noise).
+    ab = scaling["seed_engine_ab"]
+    assert ab["end_to_end_speedup"] >= 1.2, ab
+
+
+def test_backend_speedup_direction():
+    speedup = bench_backend_speedup(quick=True)
+    assert speedup["wall_clock_speedup"] > 1.0, speedup
+    assert speedup["event_ratio"] > 1.0, speedup
+    # Same traffic, same closed-form bandwidths: simulated times agree
+    # to within the store-and-forward offset (see the differential suite).
+    analytical_ns = speedup["analytical"]["collective_ns"]
+    garnet_ns = speedup["garnet_lite"]["collective_ns"]
+    assert abs(garnet_ns - analytical_ns) / analytical_ns < 0.05
+
+
+def test_committed_baseline_is_fresh_and_complete():
+    path = REPO_ROOT / "BENCH_perf.json"
+    assert path.exists(), "BENCH_perf.json missing; run benchmarks/perf/run_perf.py"
+    data = json.loads(path.read_text())
+    assert data["quick"] is False, "committed baseline must be a full run"
+    for key in ("event_kernel", "scaling", "backend_speedup"):
+        assert key in data, f"baseline missing section {key!r}"
+    assert data["event_kernel"]["batch"]["speedup"] >= BATCH_SPEEDUP_FLOOR
+    assert data["scaling"]["seed_engine_ab"]["end_to_end_speedup"] >= 1.0

@@ -204,6 +204,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"total    : {result.total_time_ms:.3f} ms  "
           f"({result.nodes_executed} nodes, "
           f"{result.events_processed} events)")
+    if args.sim_rate and result.simulation_rate_eps is not None:
+        # Opt-in: wall-clock dependent, so off by default to keep the
+        # CLI output deterministic across runs.
+        print(f"sim rate : {result.simulation_rate_eps:,.0f} events/s  "
+              f"({result.wall_time_s:.3f} s wall)")
     print()
     print(format_breakdown_table({args.workload: result.breakdown}))
     if resilience is not None:
@@ -304,6 +309,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="dump a chrome://tracing / Perfetto trace JSON")
     run.add_argument("--timeline", type=int, default=0, metavar="WIDTH",
                      help="render a per-NPU activity timeline WIDTH cols wide")
+    run.add_argument("--sim-rate", action="store_true",
+                     help="print simulator throughput (events/s; wall-clock "
+                          "dependent, so output is no longer deterministic)")
     run.set_defaults(func=_cmd_run)
 
     info = sub.add_parser("trace-info", help="summarize an ET JSON file")

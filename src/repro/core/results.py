@@ -47,6 +47,10 @@ class RunResult:
             via :mod:`repro.stats.timeline`).
         resilience: Fault/checkpoint accounting; present only when a
             fault schedule was injected.
+        wall_time_s: Host wall-clock seconds the simulation took.  A cost
+            metric only — deliberately excluded from
+            :func:`repro.stats.export.result_to_dict` so exported results
+            stay bit-reproducible across runs.
     """
 
     total_time_ns: float
@@ -57,6 +61,14 @@ class RunResult:
     collectives: List[CollectiveRecord] = field(default_factory=list)
     activity: Optional[ActivityLog] = None
     resilience: Optional[ResilienceReport] = None
+    wall_time_s: Optional[float] = None
+
+    @property
+    def simulation_rate_eps(self) -> Optional[float]:
+        """Simulator throughput in events/second, or None if not timed."""
+        if not self.wall_time_s:
+            return None
+        return self.events_processed / self.wall_time_s
 
     @property
     def total_time_ms(self) -> float:

@@ -13,6 +13,7 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from typing import Dict
 
 from repro.core.config import SystemConfig
@@ -60,7 +61,9 @@ class Simulator:
 
     def run(self) -> RunResult:
         """Run to completion and collect results."""
+        wall_start = time.perf_counter()
         total = self.execution.run()
+        wall = time.perf_counter() - wall_start
         per_npu = {
             npu: self.execution.activity.breakdown(npu, total)
             for npu in self.execution.traces
@@ -81,6 +84,7 @@ class Simulator:
             collectives=list(self.execution.collective_records),
             activity=self.execution.activity,
             resilience=resilience,
+            wall_time_s=wall,
         )
 
 

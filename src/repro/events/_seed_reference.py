@@ -1,0 +1,147 @@
+"""Frozen copy of the original (seed) event engine — a differential oracle.
+
+This module preserves the pre-optimisation implementation of
+:class:`~repro.events.engine.EventEngine` verbatim: a heap of
+``@dataclass(order=True)`` events compared by ``(time, priority, seq)``
+with lazy cancellation and an O(n) ``pending`` scan.
+
+It exists for two reasons and must NOT be used in production code:
+
+1. **Observational-equivalence tests** — property tests replay random
+   schedule/cancel/stop/until programs on this oracle and on the
+   optimised engine and require identical ``(time, seq)`` firing
+   sequences (``tests/property/test_property_event_engine.py``).
+2. **The events/sec microbenchmark** — ``benchmarks/perf`` measures the
+   optimised kernel's speedup against this exact baseline.
+
+Do not "fix" or optimise this file; its value is that it never changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.events.engine import SimulationError
+
+
+@dataclass(order=True)
+class SeedEvent:
+    """Seed-era scheduled callback (dataclass-ordered heap entry)."""
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class SeedEventEngine:
+    """The seed event loop, kept bit-for-bit as a behavioural reference."""
+
+    def __init__(self) -> None:
+        self._queue: list = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any,
+                 priority: int = 0) -> SeedEvent:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any,
+                    priority: int = 0) -> SeedEvent:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = SeedEvent(time=time, priority=priority, seq=self._seq, fn=fn, args=args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until t={until} before current time t={self._now}")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        truncated = False
+        try:
+            while self._queue:
+                if self._stopped:
+                    truncated = True
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    truncated = True
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                self._events_processed += 1
+                fired += 1
+                event.fn(*event.args)
+            if (until is not None and not truncated and not self._stopped
+                    and self._now < until):
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def step(self) -> bool:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def peek_time(self) -> Optional[float]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def reset(self) -> None:
+        if self._running:
+            raise SimulationError("cannot reset a running engine")
+        self._queue.clear()
+        self._now = 0.0
+        self._seq = 0
+        self._events_processed = 0

@@ -1,10 +1,21 @@
-"""Deterministic discrete-event engine.
+"""Deterministic discrete-event engine (optimised hot path).
 
-The engine maintains a priority queue of :class:`Event` objects keyed by
-``(time, priority, sequence)``.  The sequence number makes ordering total and
-deterministic: two events scheduled for the same timestamp always fire in
-the order they were scheduled (FIFO), which keeps simulations reproducible
-across runs and Python versions.
+The engine maintains a binary heap of plain ``(time, priority, seq)``
+tuples — ``seq`` makes ordering total and deterministic, so two events
+scheduled for the same timestamp always fire in the order they were
+scheduled (FIFO), which keeps simulations reproducible across runs and
+Python versions.  Each tuple carries its :class:`Event` record as a
+fourth element that never participates in comparisons (``seq`` is unique,
+so tuple comparison always resolves earlier).
+
+This layout replaces the seed's ``@dataclass(order=True)`` heap: plain
+tuple comparisons avoid a Python-level ``__lt__`` per sift step, events
+are ``__slots__`` records, ``pending`` is a counted O(1) property
+instead of an O(n) scan, and lazily-cancelled entries are compacted out
+of the heap once they outnumber live ones.  The observable semantics are
+bit-identical to the seed engine — enforced by
+``tests/property/test_property_event_engine.py`` against the frozen
+reference in :mod:`repro.events._seed_reference`.
 
 Time is a ``float`` in an arbitrary unit; the rest of the library uses
 **nanoseconds** by convention (see :mod:`repro.core.config`).
@@ -13,33 +24,54 @@ Time is a ``float`` in an arbitrary unit; the rest of the library uses
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+# Below this many heap entries compaction is pointless churn.
+_COMPACT_MIN_ENTRIES = 64
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid engine usage (e.g. scheduling into the past)."""
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback handle.
 
-    Events compare by ``(time, priority, seq)``; ``fn`` and ``args`` are
-    excluded from ordering.  Cancelled events stay in the heap and are
-    discarded when popped (lazy deletion), which keeps cancellation O(1).
+    Events order by ``(time, priority, seq)``; cancellation is O(1) and
+    lazy — the heap entry stays behind and is discarded when popped (or
+    swept out by compaction when cancelled entries exceed live ones).
     """
 
-    time: float
-    priority: int
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "_engine")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple = (),
+        engine: Optional["EventEngine"] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            engine = self._engine
+            if engine is not None:
+                engine._note_cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "live"
+        return f"Event(t={self.time}, prio={self.priority}, seq={self.seq}, {state})"
 
 
 class EventEngine:
@@ -56,12 +88,17 @@ class EventEngine:
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        # Heap of (time, priority, seq, Event).  NOTE: the list object's
+        # identity is stable for the engine's lifetime (compaction mutates
+        # it in place) so hot loops may alias it locally.
+        self._queue: List[Tuple[float, int, int, Event]] = []
         self._now: float = 0.0
         self._seq: int = 0
         self._events_processed: int = 0
         self._running: bool = False
         self._stopped: bool = False
+        self._live: int = 0        # scheduled, not yet fired or cancelled
+        self._cancelled: int = 0   # cancelled entries still in the heap
 
     @property
     def now(self) -> float:
@@ -75,8 +112,10 @@ class EventEngine:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live events still in the queue — O(1), counted."""
+        return self._live
+
+    # -- scheduling --------------------------------------------------------------
 
     def schedule(
         self,
@@ -92,7 +131,15 @@ class EventEngine:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+        # Inlined schedule_at: delay >= 0 guarantees time >= now, and this
+        # is the single hottest call in every simulation.
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, fn, args, self)
+        heapq.heappush(self._queue, (time, priority, seq, event))
+        self._live += 1
+        return event
 
     def schedule_at(
         self,
@@ -106,10 +153,74 @@ class EventEngine:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        event = Event(time=time, priority=priority, seq=self._seq, fn=fn, args=args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, fn, args, self)
+        heapq.heappush(self._queue, (time, priority, seq, event))
+        self._live += 1
         return event
+
+    def schedule_many(
+        self,
+        items: Iterable[Sequence],
+        priority: int = 0,
+    ) -> int:
+        """Batched fire-and-forget scheduling: each item is ``(delay, fn)``
+        or ``(delay, fn, args_tuple)``.  Returns the number scheduled.
+
+        Firing order is identical to issuing the equivalent
+        :meth:`schedule` calls one by one (sequence numbers are assigned
+        in item order).  This is the bulk hot path: no :class:`Event`
+        handle is constructed (so the entries cannot be cancelled), and
+        when the batch rivals the existing heap in size the entries are
+        appended and re-heapified in one O(n) pass instead of n pushes.
+        """
+        batch: List[Tuple[float, int, int, Callable[..., None], tuple]] = []
+        append = batch.append
+        now = self._now
+        seq = self._seq
+        for item in items:
+            delay = item[0]
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule into the past (delay={delay})")
+            append((now + delay, priority, seq, item[1],
+                    item[2] if len(item) > 2 else ()))
+            seq += 1
+        self._seq = seq
+        queue = self._queue
+        if len(batch) >= max(4, len(queue)):
+            queue.extend(batch)
+            heapq.heapify(queue)
+        else:
+            push = heapq.heappush
+            for entry in batch:
+                push(queue, entry)
+        self._live += len(batch)
+        return len(batch)
+
+    # -- cancellation bookkeeping --------------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel` exactly once per live event."""
+        self._live -= 1
+        self._cancelled += 1
+        queue = self._queue
+        if (self._cancelled * 2 > len(queue)
+                and len(queue) >= _COMPACT_MIN_ENTRIES):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Sweep cancelled entries out of the heap (in place: hot loops
+        alias the list object).  Batched 5-tuple entries have no handle
+        and are never cancelled."""
+        self._queue[:] = [
+            e for e in self._queue if len(e) != 4 or not e[3].cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+
+    # -- running -------------------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
@@ -124,6 +235,10 @@ class EventEngine:
         where the last event fired only when :meth:`stop` was called or
         ``max_events`` was exhausted (both leave work pending).  ``until``
         in the past raises :class:`SimulationError`.
+
+        The unbounded call (no ``until``, no ``max_events``) — the drain
+        path every simulation's main loop takes — runs a tighter loop with
+        no bound checks per event.
         """
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
@@ -132,34 +247,75 @@ class EventEngine:
                 f"cannot run until t={until} before current time t={self._now}")
         self._running = True
         self._stopped = False
-        fired = 0
-        truncated = False  # stop() or max_events left events unfired
         try:
-            while self._queue:
-                if self._stopped:
-                    truncated = True
-                    break
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and event.time > until:
-                    self._now = until
-                    break
-                if max_events is not None and fired >= max_events:
-                    truncated = True
-                    break
-                heapq.heappop(self._queue)
-                self._now = event.time
-                self._events_processed += 1
-                fired += 1
-                event.fn(*event.args)
-            if (until is not None and not truncated and not self._stopped
-                    and self._now < until):
-                self._now = until
+            if until is None and max_events is None:
+                self._drain()
+            else:
+                self._run_bounded(until, max_events)
         finally:
             self._running = False
         return self._now
+
+    def _drain(self) -> None:
+        """Hot path: fire everything, stopping only on :meth:`stop`."""
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            if self._stopped:
+                break
+            entry = pop(queue)
+            if len(entry) == 4:
+                event = entry[3]
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                self._now = entry[0]
+                self._live -= 1
+                self._events_processed += 1
+                # Detach so a cancel() after firing can't skew counters.
+                event._engine = None
+                event.fn(*event.args)
+            else:  # batched (time, priority, seq, fn, args) entry
+                self._now = entry[0]
+                self._live -= 1
+                self._events_processed += 1
+                entry[3](*entry[4])
+
+    def _run_bounded(self, until: Optional[float], max_events: Optional[int]) -> None:
+        """General path with until/max_events bounds (seed semantics)."""
+        queue = self._queue
+        pop = heapq.heappop
+        fired = 0
+        truncated = False  # stop() or max_events left events unfired
+        while queue:
+            if self._stopped:
+                truncated = True
+                break
+            head = queue[0]
+            if len(head) == 4 and head[3].cancelled:
+                pop(queue)
+                self._cancelled -= 1
+                continue
+            if until is not None and head[0] > until:
+                self._now = until
+                break
+            if max_events is not None and fired >= max_events:
+                truncated = True
+                break
+            entry = pop(queue)
+            self._now = entry[0]
+            self._live -= 1
+            self._events_processed += 1
+            fired += 1
+            if len(entry) == 4:
+                event = entry[3]
+                event._engine = None
+                event.fn(*event.args)
+            else:
+                entry[3](*entry[4])
+        if (until is not None and not truncated and not self._stopped
+                and self._now < until):
+            self._now = until
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the in-flight callback returns."""
@@ -167,21 +323,34 @@ class EventEngine:
 
     def step(self) -> bool:
         """Fire exactly one event.  Returns False if the queue was empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_processed += 1
-            event.fn(*event.args)
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            if len(entry) == 4:
+                event = entry[3]
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                self._now = entry[0]
+                self._live -= 1
+                self._events_processed += 1
+                event._engine = None
+                event.fn(*event.args)
+            else:
+                self._now = entry[0]
+                self._live -= 1
+                self._events_processed += 1
+                entry[3](*entry[4])
             return True
         return False
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue and len(queue[0]) == 4 and queue[0][3].cancelled:
+            heapq.heappop(queue)
+            self._cancelled -= 1
+        return queue[0][0] if queue else None
 
     def reset(self) -> None:
         """Discard all pending events and rewind the clock to zero."""
@@ -191,3 +360,5 @@ class EventEngine:
         self._now = 0.0
         self._seq = 0
         self._events_processed = 0
+        self._live = 0
+        self._cancelled = 0

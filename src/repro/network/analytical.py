@@ -18,10 +18,11 @@ both experiments are reproduced in ``benchmarks/``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.events import EventEngine
 from repro.network.api import Message, NetworkBackend
+from repro.network.building_blocks import hops_between
 from repro.network.topology import MultiDimTopology
 
 
@@ -71,6 +72,14 @@ class AnalyticalNetwork(NetworkBackend):
         # Shared fabric capacity per dimension group, engaged only for
         # oversubscribed dimensions (first-order congestion model).
         self._fabrics: Dict[Tuple[int, Tuple[int, ...]], DimPort] = {}
+        # Pure-function memos for repeated (src, dest) traffic: the
+        # differing-dims list + propagation latency of a pair never
+        # change, and neither does a dimension's base bandwidth (fault
+        # scaling is applied on top per call).
+        self._route_cache: Dict[Tuple[int, int], Tuple[List[int], float]] = {}
+        self._fabric_of: Dict[Tuple[int, int], DimPort] = {}
+        self._dim_bw: Tuple[float, ...] = tuple(
+            d.bandwidth_gbps for d in topology.dims)
 
     # -- port management -----------------------------------------------------------
 
@@ -89,12 +98,16 @@ class AnalyticalNetwork(NetworkBackend):
 
     def fabric(self, npu: int, dim: int) -> DimPort:
         """The shared fabric of ``npu``'s dimension-``dim`` group."""
+        cached = self._fabric_of.get((npu, dim))
+        if cached is not None:
+            return cached
         coords = list(self.topology.coords(npu))
         coords[dim] = 0
         key = (dim, tuple(coords))
         existing = self._fabrics.get(key)
         if existing is None:
             existing = self._fabrics[key] = DimPort()
+        self._fabric_of[(npu, dim)] = existing
         return existing
 
     def reserve_port(self, npu: int, dim: int, busy_ns: float,
@@ -157,27 +170,38 @@ class AnalyticalNetwork(NetworkBackend):
         transfers priced after a fault activates — including later phases
         of an in-flight operation — see the degraded rate.
         """
-        bw = self.topology.dims[dim].bandwidth_gbps  # GB/s == bytes/ns
+        bw = self._dim_bw[dim]  # GB/s == bytes/ns
         if self.faults is not None and not self.faults.idle:
             bw *= self.faults.bandwidth_scale(dim)
         return size_bytes / bw
 
+    def _route(self, src: int, dest: int) -> Tuple[List[int], float]:
+        """Memoised ``(differing_dims, propagation_ns)`` for a pair.
+
+        Both values are pure functions of the topology, so a pair's route
+        is computed once however many chunks traverse it.
+        """
+        cached = self._route_cache.get((src, dest))
+        if cached is not None:
+            return cached
+        a = self.topology.coords(src)
+        b = self.topology.coords(dest)
+        dims: List[int] = []
+        prop = 0.0
+        for dim_idx, dim in enumerate(self.topology.dims):
+            ca, cb = a[dim_idx], b[dim_idx]
+            if ca != cb:
+                dims.append(dim_idx)
+            prop += hops_between(dim.block, dim.size, ca, cb) * dim.latency_ns
+        self._route_cache[(src, dest)] = (dims, prop)
+        return dims, prop
+
     def propagation_time(self, src: int, dest: int) -> float:
         """Latency term: sum of per-dimension hop latencies, in ns."""
-        a = self.topology.coords(src)
-        b = self.topology.coords(dest)
-        total = 0.0
-        from repro.network.building_blocks import hops_between
-
-        for dim_idx, dim in enumerate(self.topology.dims):
-            hop = hops_between(dim.block, dim.size, a[dim_idx], b[dim_idx])
-            total += hop * dim.latency_ns
-        return total
+        return self._route(src, dest)[1]
 
     def _differing_dims(self, src: int, dest: int) -> list:
-        a = self.topology.coords(src)
-        b = self.topology.coords(dest)
-        return [i for i, (ca, cb) in enumerate(zip(a, b)) if ca != cb]
+        return self._route(src, dest)[0]
 
     def transfer_time(self, src: int, dest: int, size_bytes: int) -> float:
         """Unloaded end-to-end transfer time (no queueing).
@@ -186,18 +210,17 @@ class AnalyticalNetwork(NetworkBackend):
         backend) serialize once per crossed dimension — store-and-forward
         at each level's line rate.
         """
-        return self.propagation_time(src, dest) + sum(
-            self.serialization_time(size_bytes, d)
-            for d in self._differing_dims(src, dest)
+        dims, prop = self._route(src, dest)
+        return prop + sum(
+            self.serialization_time(size_bytes, d) for d in dims
         )
 
     def _transmit(self, message: Message, on_sent: Optional[Callable[[], None]]) -> None:
-        dims = self._differing_dims(message.src, message.dest)
+        dims, prop = self._route(message.src, message.dest)
         if not dims:
             raise ValueError(
                 f"no route: NPUs {message.src} and {message.dest} coincide"
             )
-        prop = self.propagation_time(message.src, message.dest)
         # The sender's port on the first crossed dimension is the
         # contended injection point; the remaining dimensions relay at
         # line rate (store-and-forward) without modeled contention.

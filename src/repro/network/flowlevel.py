@@ -12,7 +12,7 @@ it leaves — at one event per rate change instead of one per packet-hop.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.events import EventEngine
 from repro.events.engine import Event
@@ -33,27 +33,51 @@ class _FlowLink:
 
 
 class _Flow:
-    """One in-flight message."""
+    """One in-flight message (or one packet-granularity sub-flow)."""
 
     __slots__ = ("message", "on_sent", "links", "remaining", "rate",
-                 "prop_latency_ns", "finish_threshold")
+                 "prop_latency_ns", "finish_threshold", "group")
 
     def __init__(self, message: Message, on_sent: Optional[Callable[[], None]],
-                 links: List[_FlowLink]) -> None:
+                 links: List[_FlowLink], size_bytes: Optional[int] = None,
+                 group: Optional["_SubFlowGroup"] = None) -> None:
         self.message = message
         self.on_sent = on_sent
         self.links = links
-        self.remaining = float(max(1, message.size_bytes))
+        self.remaining = float(max(
+            1, message.size_bytes if size_bytes is None else size_bytes))
         self.rate = 0.0
         self.prop_latency_ns = sum(link.latency_ns for link in links)
         # Rate * time accumulates relative float error; declare the flow
         # done once the residue is negligible for its size, or the
         # scheduler grinds through microscopic remainders forever.
         self.finish_threshold = max(1e-6, 1e-9 * self.remaining)
+        self.group = group
 
     @property
     def finished(self) -> bool:
         return self.remaining <= self.finish_threshold
+
+
+class _SubFlowGroup:
+    """An escalated message: packet-granularity sub-flows run in sequence.
+
+    HyGra-style fidelity escalation (see
+    :class:`FlowLevelNetwork`): on a contended route the fluid
+    approximation is replaced by store-and-forward packet segments, so
+    rate changes are resolved at packet rather than message granularity.
+    The message delivers when its last segment finishes.
+    """
+
+    __slots__ = ("message", "on_sent", "links", "sizes", "next_idx")
+
+    def __init__(self, message: Message, on_sent: Optional[Callable[[], None]],
+                 links: List[_FlowLink], sizes: List[int]) -> None:
+        self.message = message
+        self.on_sent = on_sent
+        self.links = links
+        self.sizes = sizes
+        self.next_idx = 0
 
 
 class FlowLevelNetwork(NetworkBackend):
@@ -64,35 +88,106 @@ class FlowLevelNetwork(NetworkBackend):
     (fair share = residual capacity / unfrozen flows), freeze its flows
     at that rate, and continue.  Between events every flow progresses
     linearly at its rate, so only the earliest completion needs an event.
+
+    Args:
+        engine: The shared event engine.
+        topology: Physical topology, expanded into the explicit link graph.
+        escalation_threshold: HyGra-style granularity escalation — when a
+            new message's route crosses a link already carrying at least
+            this many flows, the fluid approximation is judged too coarse
+            for the contention and the message is executed as sequential
+            packet-granularity sub-flows instead (rates re-solved at every
+            packet boundary).  ``None`` (the default) disables escalation:
+            every message is one fluid flow, the exact reference
+            behaviour.  Uncontended routes always stay fluid, so the
+            packet-level event cost is paid only where fidelity buys
+            accuracy.
+        escalation_packet_bytes: Segment size for escalated messages.
     """
 
-    def __init__(self, engine: EventEngine, topology: MultiDimTopology) -> None:
+    def __init__(
+        self,
+        engine: EventEngine,
+        topology: MultiDimTopology,
+        escalation_threshold: Optional[int] = None,
+        escalation_packet_bytes: int = 4096,
+    ) -> None:
         super().__init__(engine, topology)
+        if escalation_threshold is not None and escalation_threshold < 1:
+            raise ValueError(
+                f"escalation_threshold must be >= 1, got {escalation_threshold}")
+        if escalation_packet_bytes <= 0:
+            raise ValueError(
+                f"escalation_packet_bytes must be positive, "
+                f"got {escalation_packet_bytes}")
         self._links: Dict[LinkKey, _FlowLink] = build_links(
             topology, lambda bw, lat: _FlowLink(bw, lat))
         self._flows: Set[_Flow] = set()
         self._last_update = 0.0
         self._completion_event: Optional[Event] = None
         self.rate_recomputations = 0
+        self.escalation_threshold = escalation_threshold
+        self.escalation_packet_bytes = escalation_packet_bytes
+        self.granularity_escalations = 0
+        # (src, dest) -> per-hop links; routes are pure topology functions.
+        self._path_cache: Dict[Tuple[int, int], List[_FlowLink]] = {}
 
     # -- NetworkBackend -----------------------------------------------------------
 
-    def _transmit(self, message: Message, on_sent: Optional[Callable[[], None]]) -> None:
-        path = dimension_order_route(self.topology, message.src, message.dest)
+    def _link_path(self, src: int, dest: int) -> List[_FlowLink]:
+        cached = self._path_cache.get((src, dest))
+        if cached is not None:
+            return cached
+        path = dimension_order_route(self.topology, src, dest)
         if len(path) < 2:
-            raise TopologyError(f"no route from {message.src} to {message.dest}")
+            raise TopologyError(f"no route from {src} to {dest}")
         links = []
         for a, b in zip(path, path[1:]):
             link = self._links.get((a, b))
             if link is None:
                 raise TopologyError(f"missing link {a!r} -> {b!r}")
             links.append(link)
-        flow = _Flow(message, on_sent, links)
+        self._path_cache[(src, dest)] = links
+        return links
+
+    def _transmit(self, message: Message, on_sent: Optional[Callable[[], None]]) -> None:
+        links = self._link_path(message.src, message.dest)
         self._advance_to_now()
-        self._flows.add(flow)
-        for link in links:
-            link.flows.add(flow)
+        if (self.escalation_threshold is not None
+                and message.size_bytes > self.escalation_packet_bytes
+                and any(len(link.flows) >= self.escalation_threshold
+                        for link in links)):
+            self.granularity_escalations += 1
+            self._start_escalated(message, on_sent, links)
+        else:
+            flow = _Flow(message, on_sent, links)
+            self._flows.add(flow)
+            for link in links:
+                link.flows.add(flow)
         self._reallocate()
+
+    def _start_escalated(self, message: Message,
+                         on_sent: Optional[Callable[[], None]],
+                         links: List[_FlowLink]) -> None:
+        """Split a contended message into sequential packet sub-flows."""
+        packet = self.escalation_packet_bytes
+        sizes: List[int] = []
+        remaining = message.size_bytes
+        while remaining > 0:
+            size = min(packet, remaining)
+            sizes.append(size)
+            remaining -= size
+        group = _SubFlowGroup(message, on_sent, links, sizes)
+        self._launch_next_subflow(group)
+
+    def _launch_next_subflow(self, group: _SubFlowGroup) -> None:
+        size = group.sizes[group.next_idx]
+        group.next_idx += 1
+        sub = _Flow(group.message, None, group.links,
+                    size_bytes=size, group=group)
+        self._flows.add(sub)
+        for link in group.links:
+            link.flows.add(sub)
 
     # -- fluid dynamics -----------------------------------------------------------
 
@@ -108,11 +203,16 @@ class FlowLevelNetwork(NetworkBackend):
         """Progressive-filling max-min allocation, then reschedule."""
         self.rate_recomputations += 1
         unfrozen: Set[_Flow] = set(self._flows)
+        # Only links currently carrying flows can constrain the
+        # allocation; skipping idle links keeps each filling round
+        # O(active links) on large topologies (max-min rates are unique,
+        # so the restriction cannot change the result).
         residual: Dict[int, float] = {
-            id(link): link.capacity for link in self._links.values()
+            id(link): link.capacity
+            for link in self._links.values() if link.flows
         }
         link_objects: Dict[int, _FlowLink] = {
-            id(link): link for link in self._links.values()
+            id(link): link for link in self._links.values() if link.flows
         }
         while unfrozen:
             # Most-constrained link among those carrying unfrozen flows.
@@ -160,6 +260,16 @@ class FlowLevelNetwork(NetworkBackend):
             self._flows.discard(flow)
             for link in flow.links:
                 link.flows.discard(flow)
+            group = flow.group
+            if group is not None:
+                if group.next_idx < len(group.sizes):
+                    self._launch_next_subflow(group)
+                else:
+                    if group.on_sent is not None:
+                        group.on_sent()
+                    self.engine.schedule(flow.prop_latency_ns, self._deliver,
+                                         group.message)
+                continue
             if flow.on_sent is not None:
                 flow.on_sent()
             self.engine.schedule(flow.prop_latency_ns, self._deliver,

@@ -93,6 +93,9 @@ class MultiDimTopology:
             self._strides.append(stride)
             stride *= dim.size
         self._num_npus = stride
+        # coords() is called on every transfer by every backend; the
+        # mixed-radix decomposition is pure, so memoise per NPU id.
+        self._coords_cache: dict = {}
 
     # -- basic properties ---------------------------------------------------------
 
@@ -125,13 +128,16 @@ class MultiDimTopology:
 
     def coords(self, npu_id: int) -> Tuple[int, ...]:
         """Mixed-radix coordinates of an NPU (dim 0 varies fastest)."""
-        self._check_id(npu_id)
-        out = []
-        rest = npu_id
-        for dim in self.dims:
-            out.append(rest % dim.size)
-            rest //= dim.size
-        return tuple(out)
+        cached = self._coords_cache.get(npu_id)
+        if cached is None:
+            self._check_id(npu_id)
+            out = []
+            rest = npu_id
+            for dim in self.dims:
+                out.append(rest % dim.size)
+                rest //= dim.size
+            cached = self._coords_cache[npu_id] = tuple(out)
+        return cached
 
     def npu_id(self, coords: Sequence[int]) -> int:
         """Inverse of :meth:`coords`."""

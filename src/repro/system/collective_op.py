@@ -112,34 +112,52 @@ class CollectiveOperation:
         self.group_members: Optional[frozenset] = (
             frozenset(group_members) if group_members is not None else None
         )
-        topo = network.topology
-        self.dim_specs: Dict[int, DimSpec] = {}
-        for d in sorted(set(comm_dims)):
-            physical = topo.dims[d]
-            size = group_shape.get(d, physical.size) if group_shape else physical.size
-            if size > physical.size:
-                raise ValueError(
-                    f"group size {size} exceeds dimension {d} size {physical.size}"
-                )
-            # A collective loads the dimension symmetrically (every member
-            # injects at once), so an oversubscribed fabric caps each
-            # member at bandwidth/oversubscription — folded into the
-            # effective spec so the phase math and the Themis balancer
-            # both see it and route load away from the constrained dim.
-            bandwidth = physical.bandwidth_gbps / physical.oversubscription
-            if size == physical.size and bandwidth == physical.bandwidth_gbps:
-                self.dim_specs[d] = physical
-            else:
-                self.dim_specs[d] = dataclasses.replace(
-                    physical, size=size, bandwidth_gbps=bandwidth,
-                    oversubscription=1.0,
-                )
-        self.active_dims: Tuple[int, ...] = tuple(
-            d for d, spec in self.dim_specs.items() if spec.size > 1
+        # Every collective on the same communicator signature derives the
+        # same effective specs / active dims / group size, and training
+        # loops issue thousands of ops over a handful of communicators —
+        # memoise the derivation on the network.  The cached dim_specs
+        # mapping is shared (DimSpec is frozen; this class only reads it).
+        sig = (
+            tuple(sorted(set(comm_dims))),
+            tuple(sorted(group_shape.items())) if group_shape else None,
         )
-        self.group_size = 1
-        for d in self.active_dims:
-            self.group_size *= self.dim_specs[d].size
+        comm_cache = getattr(network, "_comm_sig_cache", None)
+        if comm_cache is None:
+            comm_cache = network._comm_sig_cache = {}
+        cached = comm_cache.get(sig)
+        if cached is None:
+            topo = network.topology
+            dim_specs: Dict[int, DimSpec] = {}
+            for d in sig[0]:
+                physical = topo.dims[d]
+                size = group_shape.get(d, physical.size) if group_shape else physical.size
+                if size > physical.size:
+                    raise ValueError(
+                        f"group size {size} exceeds dimension {d} size {physical.size}"
+                    )
+                # A collective loads the dimension symmetrically (every member
+                # injects at once), so an oversubscribed fabric caps each
+                # member at bandwidth/oversubscription — folded into the
+                # effective spec so the phase math and the Themis balancer
+                # both see it and route load away from the constrained dim.
+                bandwidth = physical.bandwidth_gbps / physical.oversubscription
+                if size == physical.size and bandwidth == physical.bandwidth_gbps:
+                    dim_specs[d] = physical
+                else:
+                    dim_specs[d] = dataclasses.replace(
+                        physical, size=size, bandwidth_gbps=bandwidth,
+                        oversubscription=1.0,
+                    )
+            active_dims = tuple(
+                d for d, spec in dim_specs.items() if spec.size > 1
+            )
+            group_size = 1
+            for d in active_dims:
+                group_size *= dim_specs[d].size
+            cached = comm_cache[sig] = (dim_specs, active_dims, group_size)
+        self.dim_specs: Dict[int, DimSpec] = cached[0]
+        self.active_dims: Tuple[int, ...] = cached[1]
+        self.group_size: int = cached[2]
         self.start_time: Optional[float] = None
         self.finish_time: Optional[float] = None
         self.traffic_by_dim: Dict[int, float] = {d: 0.0 for d in self.active_dims}
@@ -186,6 +204,10 @@ class CollectiveOperation:
                 self._start_fluid(plan)
                 return
         launches: List[Tuple[float, int, _Chunk]] = []
+        # All chunks share specs/kind/payload, so the work vector and plan
+        # of a given order are computed once however many chunks pick it
+        # (with the baseline scheduler that is a single computation).
+        work_by_order: Dict[Tuple[int, ...], Tuple[Dict[int, float], float, tuple]] = {}
         for index in range(self.num_chunks):
             order = self.scheduler.plan_order(
                 network=self.network,
@@ -200,15 +222,20 @@ class CollectiveOperation:
                 roundtrip=roundtrip,
                 dim_specs=self.dim_specs,
             )
-            work = chunk_work_vector(
-                self.dim_specs, order, first_kind, chunk_payload, roundtrip
-            )
+            memo = work_by_order.get(order)
+            if memo is None:
+                work = chunk_work_vector(
+                    self.dim_specs, order, first_kind, chunk_payload, roundtrip
+                )
+                plan = tuple((d, first_kind) for d in order)
+                if roundtrip:
+                    plan += tuple(
+                        (d, PhaseKind.ALL_GATHER) for d in reversed(order))
+                memo = work_by_order[order] = (work, sum(work.values()), plan)
+            work, total_work, plan = memo
             for dim, amount in work.items():
                 self.network.add_pending(self.rep_npu, dim, amount)
-            plan = tuple((d, first_kind) for d in order)
-            if roundtrip:
-                plan += tuple((d, PhaseKind.ALL_GATHER) for d in reversed(order))
-            launches.append((sum(work.values()), index, _Chunk(chunk_payload, plan)))
+            launches.append((total_work, index, _Chunk(chunk_payload, plan)))
         # Launch heaviest plans first: their long phases queue early, so
         # their precedence-constrained tails overlap the steady state
         # instead of extending the makespan.

@@ -209,6 +209,12 @@ class ThemisScheduler(ChunkScheduler):
 
     def __init__(self) -> None:
         self._mix_cache: Dict[tuple, List[Tuple[Tuple[int, ...], float]]] = {}
+        # chunk_work_vector is pure in (specs, order, kind, payload,
+        # roundtrip); the greedy fallback re-evaluates every candidate
+        # order for every chunk of every collective, so memoise the work
+        # vectors per exact signature (payload kept as the exact float —
+        # unlike the LP mix there is no rounding, results stay bit-exact).
+        self._work_cache: Dict[tuple, Dict[Tuple[int, ...], Dict[int, float]]] = {}
 
     def balanced_plan(
         self,
@@ -355,10 +361,24 @@ class ThemisScheduler(ChunkScheduler):
             d: network.port_backlog(rep_npu, d) + pending_load.get(d, 0.0)
             for d in dims
         }
+        dims = sorted(dims)
+        signature = (
+            tuple(dims), kind, roundtrip, payload_bytes,
+            tuple(
+                (specs[d].size, specs[d].bandwidth_gbps, specs[d].latency_ns)
+                for d in dims
+            ),
+        )
+        per_order = self._work_cache.get(signature)
+        if per_order is None:
+            per_order = self._work_cache[signature] = {}
         best_order: Tuple[int, ...] = ()
         best_key = None
-        for order in self._candidate_orders(specs, sorted(dims)):
-            work = chunk_work_vector(specs, order, kind, payload_bytes, roundtrip)
+        for order in self._candidate_orders(specs, dims):
+            work = per_order.get(order)
+            if work is None:
+                work = per_order[order] = chunk_work_vector(
+                    specs, order, kind, payload_bytes, roundtrip)
             bottleneck = max(horizon[d] + work[d] for d in order)
             key = (bottleneck, sum(work.values()), order)
             if best_key is None or key < best_key:

@@ -1,0 +1,49 @@
+"""Regenerate the golden-number JSON files from the current code.
+
+Run only when a *modelling* change intentionally shifts simulated times;
+a pure performance refactor must leave every golden file byte-stable::
+
+    PYTHONPATH=src python tests/golden/generate_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent
+sys.path.insert(0, str(GOLDEN_DIR.parent.parent))
+
+from tests.golden import scenarios  # noqa: E402
+
+
+def main() -> None:
+    meta = {
+        "table4": {
+            "paper_sizes_mb": scenarios.TABLE4_PAPER_SIZES_MB,
+            "paper_speedup": scenarios.TABLE4_PAPER_SPEEDUP,
+            "speedup_tolerance": 0.25,
+        },
+        "fig4": {
+            "paper_mean_error": scenarios.FIG4_PAPER_MEAN_ERROR,
+            "mean_error_bound": scenarios.FIG4_MEAN_ERROR_BOUND,
+        },
+        "secivc": {
+            "paper_speedup": scenarios.SECIVC_PAPER_SPEEDUP,
+            "min_event_ratio": scenarios.SECIVC_MIN_EVENT_RATIO,
+        },
+    }
+    for name, fn in scenarios.SCENARIOS.items():
+        payload = {
+            "description": fn.__doc__.strip().splitlines()[0],
+            "paper": meta[name],
+            "values": fn(),
+        }
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -49,6 +49,16 @@ class TestRun:
         ])
         assert code == 0
 
+    def test_sim_rate_is_opt_in(self, capsys):
+        argv = ["run", "--topology", "Ring(4)", "--bandwidths", "100",
+                "--workload", "allreduce", "--payload-mib", "1"]
+        assert main(list(argv)) == 0
+        assert "sim rate" not in capsys.readouterr().out
+        assert main(list(argv) + ["--sim-rate"]) == 0
+        out = capsys.readouterr().out
+        assert "sim rate" in out
+        assert "events/s" in out
+
     def test_bad_bandwidths_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--topology", "Ring(4)", "--bandwidths", "abc"])

@@ -71,3 +71,31 @@ class TestBackendSelection:
         sim = Simulator(traces, _config(topo, "garnet"))
         sim.run()
         assert sim.network.packet_hops > 0
+
+
+class TestSimulationRate:
+    def test_run_result_reports_wall_time_and_rate(self):
+        topo = parse_topology("Ring(8)", [100])
+        result = Simulator(_pp_traces(topo), _config(topo, "analytical")).run()
+        assert result.wall_time_s is not None and result.wall_time_s > 0
+        assert result.simulation_rate_eps == pytest.approx(
+            result.events_processed / result.wall_time_s)
+
+    def test_untimed_result_has_no_rate(self):
+        from repro.core.results import RunResult
+        from repro.stats.breakdown import Breakdown
+
+        bare = RunResult(
+            total_time_ns=1.0,
+            breakdown=Breakdown(total_ns=1.0, exposed_ns={}, idle_ns=0.0),
+            per_npu_breakdown={}, nodes_executed=0, events_processed=5)
+        assert bare.wall_time_s is None
+        assert bare.simulation_rate_eps is None
+
+    def test_export_stays_deterministic_without_wall_time(self):
+        from repro.stats.export import result_to_dict
+
+        topo = parse_topology("Ring(8)", [100])
+        result = Simulator(_pp_traces(topo), _config(topo, "analytical")).run()
+        exported = result_to_dict(result)
+        assert "wall_time_s" not in exported  # cost metrics are not exported

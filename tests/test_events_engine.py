@@ -219,3 +219,113 @@ class TestRunUntilClockSemantics:
         engine.schedule(1.0, lambda: fired.append(engine.now))
         engine.run()
         assert fired == [101.0]
+
+
+class TestCountedPendingAndCompaction:
+    """pending is counted O(1); cancelled entries are compacted lazily."""
+
+    def test_interleaved_schedule_cancel_step_run_counts(self):
+        engine = EventEngine()
+        a = engine.schedule(1.0, lambda: None)
+        b = engine.schedule(2.0, lambda: None)
+        engine.schedule(3.0, lambda: None)
+        assert engine.pending == 3
+        a.cancel()
+        assert engine.pending == 2
+        a.cancel()  # idempotent
+        assert engine.pending == 2
+        assert engine.step() is True  # skips cancelled a, fires b (t=2)
+        assert engine.pending == 1
+        b.cancel()  # already fired: must not affect the count
+        assert engine.pending == 1
+        engine.run()
+        assert engine.pending == 0
+        assert engine.events_processed == 2
+
+    def test_cancel_after_fire_is_noop_for_counts(self):
+        engine = EventEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.pending == 0
+        event.cancel()
+        assert engine.pending == 0
+
+    def test_mass_cancellation_compacts_heap(self):
+        engine = EventEngine()
+        events = [engine.schedule(float(i), lambda: None) for i in range(500)]
+        keep = engine.schedule(1000.0, lambda: None)
+        for event in events:
+            event.cancel()
+        # More than half the heap was cancelled: it must have been swept.
+        assert len(engine._queue) < 250
+        assert engine.pending == 1
+        assert engine.peek_time() == 1000.0
+        engine.run()
+        assert engine.events_processed == 1
+        assert not keep.cancelled
+
+    def test_compaction_preserves_order(self):
+        engine = EventEngine()
+        order = []
+        cancels = [engine.schedule(float(i), order.append, -1)
+                   for i in range(200)]
+        for i in range(10):
+            engine.schedule(300.0, order.append, i)  # same time: FIFO
+        for event in cancels:
+            event.cancel()
+        engine.run()
+        assert order == list(range(10))
+
+
+class TestScheduleMany:
+    def test_matches_sequential_schedule_order(self):
+        sequential = EventEngine()
+        batched = EventEngine()
+        order_a, order_b = [], []
+        items = [(5.0, order_b.append, (i,)) for i in range(4)]
+        items += [(1.0, order_b.append, (10 + i,)) for i in range(4)]
+        for delay, _, args in items:
+            sequential.schedule(delay, order_a.append, *args)
+        assert batched.schedule_many(items) == 8
+        assert batched.pending == 8
+        sequential.run()
+        batched.run()
+        assert order_a == order_b
+        assert sequential.now == batched.now
+
+    def test_interleaves_with_schedule_fifo(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule(1.0, order.append, "a")
+        engine.schedule_many([(1.0, order.append, ("b",)),
+                              (1.0, order.append, ("c",))])
+        engine.schedule(1.0, order.append, "d")
+        engine.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_priority_applies_to_batch(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule_many([(1.0, order.append, ("low",))], priority=1)
+        engine.schedule_many([(1.0, order.append, ("high",))], priority=-1)
+        engine.run()
+        assert order == ["high", "low"]
+
+    def test_negative_delay_rejected(self):
+        engine = EventEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_many([(1.0, lambda: None), (-0.5, lambda: None)])
+
+    def test_bounded_run_and_step_handle_batched_entries(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_many([(float(i), fired.append, (i,)) for i in range(6)])
+        engine.run(until=2.0)
+        assert fired == [0, 1, 2]
+        assert engine.step() is True
+        assert fired == [0, 1, 2, 3]
+        engine.run(max_events=1)
+        assert fired == [0, 1, 2, 3, 4]
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert engine.pending == 0

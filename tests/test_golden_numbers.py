@@ -1,0 +1,115 @@
+"""Golden-number regression suite.
+
+Re-runs the paper-anchored scenarios and compares against the frozen
+values in ``tests/golden/*.json``.  Analytical-backend simulated times
+must match **bit-for-bit**: a performance refactor that shifts them by a
+single ULP fails here and must either be fixed or be declared a
+modelling change (and the goldens regenerated via
+``tests/golden/generate_goldens.py`` with justification).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.golden import scenarios
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _load(name: str) -> dict:
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), f"golden file {path} missing — run generate_goldens.py"
+    return json.loads(path.read_text())
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict:
+    return {name: _load(name) for name in scenarios.SCENARIOS}
+
+
+def test_golden_files_wellformed(goldens):
+    for name, payload in goldens.items():
+        assert set(payload) == {"description", "paper", "values"}, name
+        assert payload["values"], name
+
+
+class TestTable4:
+    """Table IV message sizes, collective times, and the 2.51x speedup."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        return scenarios.table4_scenario()
+
+    def test_simulated_times_bit_identical(self, run, goldens):
+        frozen = goldens["table4"]["values"]["shapes"]
+        for shape, cells in frozen.items():
+            got = run["shapes"][shape]
+            assert got["total_time_ns"] == cells["total_time_ns"], shape
+            assert got["sizes_mib"] == cells["sizes_mib"], shape
+
+    def test_event_counts_stable(self, run, goldens):
+        frozen = goldens["table4"]["values"]["shapes"]
+        for shape, cells in frozen.items():
+            assert run["shapes"][shape]["events_processed"] == \
+                cells["events_processed"], shape
+
+    def test_message_sizes_match_paper_cells(self, run, goldens):
+        paper = goldens["table4"]["paper"]["paper_sizes_mb"]
+        for shape, sizes_mb in paper.items():
+            assert run["shapes"][shape]["sizes_mib"] == \
+                pytest.approx(sizes_mb), shape
+
+    def test_wafer_speedup_matches_paper(self, run, goldens):
+        paper = goldens["table4"]["paper"]
+        assert run["wafer_speedup"] == pytest.approx(
+            paper["paper_speedup"], rel=paper["speedup_tolerance"])
+        assert run["wafer_speedup"] == \
+            goldens["table4"]["values"]["wafer_speedup"]
+
+
+class TestFig4:
+    """Fig. 4 validation error against the calibrated NCCL reference."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        return scenarios.fig4_scenario()
+
+    def test_simulated_points_bit_identical(self, run, goldens):
+        assert run["simulated_ns"] == goldens["fig4"]["values"]["simulated_ns"]
+
+    def test_mean_error_frozen_and_bounded(self, run, goldens):
+        frozen = goldens["fig4"]["values"]
+        paper = goldens["fig4"]["paper"]
+        assert run["mean_error"] == frozen["mean_error"]
+        assert run["mean_error"] < paper["mean_error_bound"]
+        assert run["max_error"] == frozen["max_error"]
+
+
+class TestSecIVC:
+    """Sec. IV-C analytical-vs-packet cost structure."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        return scenarios.secivc_scenario()
+
+    def test_backend_times_bit_identical(self, run, goldens):
+        frozen = goldens["secivc"]["values"]
+        assert run["analytical"]["collective_ns"] == \
+            frozen["analytical"]["collective_ns"]
+        assert run["garnetlite"]["collective_ns"] == \
+            frozen["garnetlite"]["collective_ns"]
+
+    def test_backends_agree_on_congestion_free_traffic(self, run):
+        assert run["garnetlite"]["collective_ns"] == pytest.approx(
+            run["analytical"]["collective_ns"], rel=1e-6)
+
+    def test_event_ratio_frozen_and_large(self, run, goldens):
+        frozen = goldens["secivc"]["values"]
+        paper = goldens["secivc"]["paper"]
+        assert run["analytical"]["events"] == frozen["analytical"]["events"]
+        assert run["garnetlite"]["events"] == frozen["garnetlite"]["events"]
+        assert run["event_ratio"] >= paper["min_event_ratio"]

@@ -127,3 +127,62 @@ class TestTransfer:
         net.sim_send(0, 1, 2048)
         engine.run()
         assert net.max_link_bytes() == 2048
+
+
+class TestPacketTrains:
+    """Opt-in coalescing: train_packets > 1 trades granularity for events."""
+
+    def _trained(self, train, **kw):
+        engine = EventEngine()
+        topo = parse_topology("Ring(8)", [100.0], latencies_ns=[100.0])
+        return engine, GarnetLiteNetwork(
+            engine, topo, packet_bytes=1024, train_packets=train, **kw)
+
+    def test_default_train_of_one_is_exact(self):
+        engine, net = self._trained(1)
+        assert net.train_packets == 1
+
+    def test_trains_cut_event_count(self):
+        times, events = {}, {}
+        for train in (1, 4):
+            engine, net = self._trained(train)
+            done = []
+            net.sim_recv(2, 0, 64 * 1024, callback=lambda m: done.append(engine.now))
+            net.sim_send(0, 2, 64 * 1024)
+            engine.run()
+            times[train], events[train] = done[0], engine.events_processed
+        # ~4x fewer events, completion within one train per hop.
+        assert events[4] <= events[1] / 3
+        assert times[4] == pytest.approx(times[1], rel=0.2)
+
+    def test_train_preserves_packet_hop_accounting(self):
+        engine, net = self._trained(4)
+        net.sim_recv(3, 0, 4096, callback=lambda m: None)
+        net.sim_send(0, 3, 4096)
+        engine.run()
+        assert net.packet_hops == 4 * 3  # 4 packets x 3 hops, 1 train event each
+
+    def test_uneven_tail_train_carries_remainder(self):
+        engine, net = self._trained(4)
+        done = []
+        net.sim_recv(1, 0, 5 * 1024, callback=lambda m: done.append(engine.now))
+        net.sim_send(0, 1, 5 * 1024)  # one full train + one single-packet tail
+        engine.run()
+        assert done and net.packet_hops == 5
+
+    def test_invalid_train_rejected(self):
+        engine = EventEngine()
+        topo = parse_topology("Ring(4)", [100.0])
+        with pytest.raises(ValueError):
+            GarnetLiteNetwork(engine, topo, train_packets=0)
+
+
+class TestLinkPathCache:
+    def test_repeated_pairs_resolve_once(self):
+        engine, net = _net("Ring(8)", (100,), (0,))
+        for tag in range(3):
+            net.sim_recv(3, 0, 2048, tag=tag, callback=lambda m: None)
+            net.sim_send(0, 3, 2048, tag=tag)
+        engine.run()
+        assert len(net._path_cache) == 1
+        assert len(net._path_cache[(0, 3)]) == 3
