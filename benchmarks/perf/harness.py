@@ -207,6 +207,67 @@ def bench_scaling(quick: bool = False, repeats: int = 3) -> Dict[str, object]:
     return {"rows": rows, "seed_engine_ab": ab}
 
 
+# -- telemetry overhead -----------------------------------------------------------
+
+
+def _telemetry_scenario(telemetry, payload: int, count: int) -> float:
+    """64-NPU All-Reduce burst (same shape as the fault-overhead bench)."""
+    topology = repro.parse_topology("Ring(8)_Switch(8)", [100, 25])
+    traces = generate_single_collective(
+        topology, CollectiveType.ALL_REDUCE, payload, count=count)
+    config = repro.SystemConfig(
+        topology=topology, scheduler="baseline", collective_chunks=32,
+        telemetry=telemetry)
+    return repro.simulate(traces, config).total_time_ns
+
+
+def bench_telemetry_overhead(quick: bool = False,
+                             repeats: int = 9) -> Dict[str, object]:
+    """Cost of the installed-but-idle telemetry collector.
+
+    Mirrors ``benchmarks/test_fault_overhead.py``: the ``if telemetry is
+    not None`` guards on the hot paths (phase reservation, collective
+    completion, memory issue) must not slow uninstrumented simulations.
+    Compares ``telemetry=None`` against a collector at trace level *off*
+    with the sampler disabled, so the hooks run but record only counters.
+    """
+    from repro.telemetry import TelemetryConfig, TraceLevel
+
+    payload = 16 * MiB if quick else 64 * MiB
+    count = 16 if quick else 32
+    idle = TelemetryConfig(trace_level=TraceLevel.OFF, sample_interval_ns=0)
+
+    base_total = _telemetry_scenario(None, payload, count)
+    idle_total = _telemetry_scenario(idle, payload, count)
+
+    # Interleave the A/B rounds so clock drift (thermal throttling, cache
+    # state left by earlier benchmarks) hits both variants equally.
+    base_best = idle_best = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            gc.collect()
+            start = time.perf_counter()
+            _telemetry_scenario(None, payload, count)
+            base_best = min(base_best, time.perf_counter() - start)
+            start = time.perf_counter()
+            _telemetry_scenario(idle, payload, count)
+            idle_best = min(idle_best, time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    overhead = idle_best / max(base_best, 1e-12) - 1.0
+    return {
+        "scenario": "64-NPU Ring(8)_Switch(8) All-Reduce x%d, 32 chunks" % count,
+        "payload_bytes": payload,
+        "bit_identical": base_total == idle_total,
+        "base_wall_s": round(base_best, 4),
+        "idle_wall_s": round(idle_best, 4),
+        "overhead": round(overhead, 4),
+    }
+
+
 # -- backend speedup --------------------------------------------------------------
 
 
@@ -264,4 +325,5 @@ def run_all(quick: bool = False) -> Dict[str, object]:
         "event_kernel": bench_event_kernel(quick=quick),
         "scaling": bench_scaling(quick=quick),
         "backend_speedup": bench_backend_speedup(quick=quick),
+        "telemetry_overhead": bench_telemetry_overhead(quick=quick),
     }

@@ -23,6 +23,7 @@ from perf.harness import (
     bench_backend_speedup,
     bench_event_kernel,
     bench_scaling,
+    bench_telemetry_overhead,
 )
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -32,6 +33,9 @@ BATCH_SPEEDUP_FLOOR = 3.0
 # Stability floor for the per-call paths: they must not be slower than
 # the seed (kept below 1.0 only to absorb CI timer noise).
 PER_CALL_SPEEDUP_FLOOR = 0.9
+# Installed-but-idle telemetry must cost < 2% wall clock (same budget as
+# the fault-injection hooks).
+TELEMETRY_OVERHEAD_BUDGET = 0.02
 
 
 def test_event_kernel_speedup_gates():
@@ -68,12 +72,28 @@ def test_backend_speedup_direction():
     assert abs(garnet_ns - analytical_ns) / analytical_ns < 0.05
 
 
+def test_telemetry_overhead_gate():
+    """Idle telemetry hooks: bit-identical results, < 2% wall clock.
+
+    Full-size scenario with extra interleaved repeats: the quick sizes
+    finish in ~10 ms per run, where timer noise alone exceeds the 2%
+    budget; the full scenario still costs < 1 s total.
+    """
+    report = bench_telemetry_overhead(quick=False, repeats=15)
+    assert report["bit_identical"], report
+    assert report["overhead"] < TELEMETRY_OVERHEAD_BUDGET, report
+
+
 def test_committed_baseline_is_fresh_and_complete():
     path = REPO_ROOT / "BENCH_perf.json"
     assert path.exists(), "BENCH_perf.json missing; run benchmarks/perf/run_perf.py"
     data = json.loads(path.read_text())
     assert data["quick"] is False, "committed baseline must be a full run"
-    for key in ("event_kernel", "scaling", "backend_speedup"):
+    for key in ("event_kernel", "scaling", "backend_speedup",
+                "telemetry_overhead"):
         assert key in data, f"baseline missing section {key!r}"
     assert data["event_kernel"]["batch"]["speedup"] >= BATCH_SPEEDUP_FLOOR
     assert data["scaling"]["seed_engine_ab"]["end_to_end_speedup"] >= 1.0
+    telemetry = data["telemetry_overhead"]
+    assert telemetry["bit_identical"] is True
+    assert telemetry["overhead"] < TELEMETRY_OVERHEAD_BUDGET

@@ -66,6 +66,13 @@ from repro.stats import (
     format_table,
 )
 from repro.system import RooflineCompute, SendRecvCollectiveExecutor, make_scheduler
+from repro.telemetry import (
+    Telemetry,
+    TelemetryConfig,
+    TelemetryError,
+    TelemetryReport,
+    TraceLevel,
+)
 from repro.trace import (
     CollectiveType,
     ETNode,
@@ -125,8 +132,13 @@ __all__ = [
     "SendRecvCollectiveExecutor",
     "Simulator",
     "SystemConfig",
+    "Telemetry",
+    "TelemetryConfig",
+    "TelemetryError",
+    "TelemetryReport",
     "TensorLocation",
     "TopologyError",
+    "TraceLevel",
     "ZeroInfinityConfig",
     "ZeroInfinityMemory",
     "dlrm_paper",

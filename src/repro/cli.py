@@ -161,7 +161,29 @@ def _fault_schedule(args: argparse.Namespace, topology, horizon_ns: float):
     return FaultSchedule.merge(schedules)
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _telemetry_config(args: argparse.Namespace):
+    """Build the telemetry config from CLI flags (None when disabled).
+
+    Telemetry activates when metrics are exported (``--metrics-out``) or
+    spans are requested (``--trace-level`` above ``off``); otherwise the
+    run stays on the un-instrumented fast path.
+    """
+    from repro.telemetry import TelemetryConfig, TelemetryError, TraceLevel
+
+    try:
+        level = TraceLevel.parse(args.trace_level)
+    except TelemetryError as exc:
+        raise SystemExit(f"error: {exc}")
+    if level is TraceLevel.PACKET and args.backend == "analytical":
+        raise SystemExit(
+            "error: --trace-level packet requires --backend garnet or flow "
+            "(the analytical backend does not model individual packets)")
+    if level is TraceLevel.OFF and not args.metrics_out:
+        return None
+    return TelemetryConfig(trace_level=level)
+
+
+def run_from_args(args: argparse.Namespace) -> int:
     topology = _build_topology(args)
     traces = _build_traces(args, topology)
     config = repro.SystemConfig(
@@ -173,6 +195,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             peak_tflops=args.peak_tflops,
             mem_bandwidth_gbps=args.hbm_gbps,
         ),
+        telemetry=_telemetry_config(args),
     )
     resilience = None
     if args.faults or args.fault_seed is not None:
@@ -235,8 +258,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.chrome_trace and result.activity is not None:
         from repro.stats.chrometrace import dump_chrome_trace
 
-        dump_chrome_trace(result.activity, args.chrome_trace)
+        dump_chrome_trace(result.activity, args.chrome_trace,
+                          collectives=result.collectives,
+                          telemetry=result.telemetry)
         print(f"chrome trace written to {args.chrome_trace}")
+    if args.metrics_out:
+        from repro.telemetry import dump_metrics_json
+
+        dump_metrics_json(result.telemetry, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -312,7 +342,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sim-rate", action="store_true",
                      help="print simulator throughput (events/s; wall-clock "
                           "dependent, so output is no longer deterministic)")
-    run.set_defaults(func=_cmd_run)
+    run.add_argument("--metrics-out", default="", metavar="PATH",
+                     help="dump the telemetry metrics registry to a "
+                          "metrics.json file (enables telemetry)")
+    run.add_argument("--trace-level",
+                     choices=("off", "phase", "collective", "chunk", "packet"),
+                     default="off",
+                     help="span recording depth for --chrome-trace / "
+                          "--metrics-out (deeper levels record more spans; "
+                          "'packet' needs a packet-modeling backend)")
+    run.set_defaults(func=run_from_args)
 
     info = sub.add_parser("trace-info", help="summarize an ET JSON file")
     info.add_argument("path")

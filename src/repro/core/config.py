@@ -18,6 +18,7 @@ from repro.memory.inswitch import InSwitchCollectiveMemory
 from repro.memory.local import LocalMemory
 from repro.network.topology import MultiDimTopology
 from repro.system.compute import RooflineCompute
+from repro.telemetry.config import TelemetryConfig
 
 DEFAULT_PEAK_TFLOPS = 234.0  # A100 measurement the paper uses (Sec. V)
 DEFAULT_HBM_GBPS = 2039.0  # A100 80GB HBM2e
@@ -49,6 +50,10 @@ class SystemConfig:
             fault-free build.  Requires the analytical backend.
         checkpoint: Checkpoint/restart cost model used by the resilience
             report to price permanent failures.
+        telemetry: Telemetry configuration (metrics registry + span
+            tracing); ``None`` (the default) installs no instrumentation
+            and keeps every hook on the exact un-instrumented fast path,
+            mirroring the ``faults`` contract.
     """
 
     topology: MultiDimTopology
@@ -67,6 +72,7 @@ class SystemConfig:
     fabric_collectives: Optional[InSwitchCollectiveMemory] = None
     faults: Optional[FaultSchedule] = None
     checkpoint: Optional[CheckpointConfig] = None
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.collective_chunks < 1:

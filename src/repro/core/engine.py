@@ -71,6 +71,10 @@ class ExecutionEngine:
         # Fault-injection state; attached by the Simulator only when a
         # non-empty schedule is configured (None = zero-cost no-op path).
         self.faults = None
+        # Telemetry collector (repro.telemetry.Telemetry); same contract:
+        # None keeps every hook on the exact un-instrumented path.
+        self.telemetry = None
+        self._inflight_collectives = 0
         self.traces = dict(traces)
         self.activity = ActivityLog()
         self.collective_records: List[CollectiveRecord] = []
@@ -239,6 +243,11 @@ class ExecutionEngine:
         duration = model.access_time_ns(request)
         start, end = channel.reserve(self.engine.now, duration)
         self.activity.record(npu, start, end, activity, node.name)
+        if self.telemetry is not None:
+            self.telemetry.record_memory(
+                "remote" if activity is Activity.MEM_REMOTE else "local",
+                node.tensor_bytes, duration,
+                fabric=node.attrs.get("via") == VIA_FABRIC)
         self.engine.schedule_at(end, self._complete, npu, node)
 
     def _issue_fabric_collective(self, npu: int, node: ETNode) -> None:
@@ -351,8 +360,13 @@ class ExecutionEngine:
                 start_ns=op.start_time,
                 finish_ns=self.engine.now,
                 traffic_by_dim=dict(op.traffic_by_dim),
+                members=tuple(sorted(rendezvous.arrived)),
             )
             self.collective_records.append(record)
+            self._inflight_collectives -= 1
+            if self.telemetry is not None:
+                self.telemetry.record_collective(
+                    record, comm_key=(rep, dims, group))
             for member, node_id in rendezvous.arrived.items():
                 self.activity.record(
                     member, op.start_time, self.engine.now, Activity.COMM,
@@ -361,7 +375,20 @@ class ExecutionEngine:
                 self._complete(member, self.traces[member].node(node_id))
 
         op.on_complete = on_complete
+        self._inflight_collectives += 1
         op.start()
+
+    # -- telemetry ---------------------------------------------------------------------
+
+    def telemetry_sample(self, telemetry, now: float) -> None:
+        """Periodic scheduler-occupancy sampling (see Telemetry._sample)."""
+        metrics = telemetry.metrics
+        metrics.gauge("system", "scheduler_occupancy").sample(
+            now, self._inflight_collectives)
+        metrics.gauge("system", "rendezvous_waiting").sample(
+            now, len(self._rendezvous))
+        metrics.gauge("system", "nodes_remaining").sample(
+            now, self._remaining)
 
     # -- point-to-point ---------------------------------------------------------------
 

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.stats.breakdown import ActivityLog, Breakdown
 from repro.stats.resilience import ResilienceReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.telemetry import TelemetryReport
 
 
 @dataclass
@@ -25,6 +28,10 @@ class CollectiveRecord:
     start_ns: float
     finish_ns: float
     traffic_by_dim: Dict[int, float] = field(default_factory=dict)
+    # Simulated members that issued a trace node for this collective
+    # (sorted); symmetric replicas without traces are not listed.  Drives
+    # the cross-NPU flow arrows in the Chrome trace export.
+    members: Tuple[int, ...] = ()
 
     @property
     def duration_ns(self) -> float:
@@ -47,6 +54,12 @@ class RunResult:
             via :mod:`repro.stats.timeline`).
         resilience: Fault/checkpoint accounting; present only when a
             fault schedule was injected.
+        telemetry: Finalised :class:`repro.telemetry.TelemetryReport`;
+            present only when a telemetry config was installed.  Its
+            metrics and spans are simulated-time quantities (and hence
+            reproducible); its wall-clock profile is host-dependent and
+            is therefore excluded from ``result_to_dict`` exports, like
+            ``wall_time_s``.
         wall_time_s: Host wall-clock seconds the simulation took.  A cost
             metric only — deliberately excluded from
             :func:`repro.stats.export.result_to_dict` so exported results
@@ -61,6 +74,7 @@ class RunResult:
     collectives: List[CollectiveRecord] = field(default_factory=list)
     activity: Optional[ActivityLog] = None
     resilience: Optional[ResilienceReport] = None
+    telemetry: Optional["TelemetryReport"] = None
     wall_time_s: Optional[float] = None
 
     @property

@@ -58,11 +58,27 @@ class Simulator:
 
             self.injector = FaultInjector(config.faults, config.topology)
             self.injector.install(self.engine, self.network, self.execution)
+        # Same contract as faults: no config installs no instrumentation
+        # and leaves every telemetry hook on its None fast path.
+        self.telemetry = None
+        if config.telemetry is not None:
+            from repro.telemetry import Telemetry
+
+            self.telemetry = Telemetry(config.telemetry)
+            self.telemetry.install(
+                self.engine, network=self.network, execution=self.execution,
+                memory_models=(config.local_memory, config.remote_memory,
+                               config.fabric_collectives),
+            )
 
     def run(self) -> RunResult:
         """Run to completion and collect results."""
         wall_start = time.perf_counter()
-        total = self.execution.run()
+        if self.telemetry is not None:
+            with self.telemetry.profile.section("run"):
+                total = self.execution.run()
+        else:
+            total = self.execution.run()
         wall = time.perf_counter() - wall_start
         per_npu = {
             npu: self.execution.activity.breakdown(npu, total)
@@ -75,6 +91,10 @@ class Simulator:
         if self.injector is not None:
             resilience = self.injector.report(
                 total_ns=total, checkpoint=self.config.checkpoint)
+        report = None
+        if self.telemetry is not None:
+            with self.telemetry.profile.section("finalize"):
+                report = self.telemetry.finalize(total, breakdown=breakdown)
         return RunResult(
             total_time_ns=total,
             breakdown=breakdown,
@@ -84,6 +104,7 @@ class Simulator:
             collectives=list(self.execution.collective_records),
             activity=self.execution.activity,
             resilience=resilience,
+            telemetry=report,
             wall_time_s=wall,
         )
 

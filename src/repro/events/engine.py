@@ -99,6 +99,12 @@ class EventEngine:
         self._stopped: bool = False
         self._live: int = 0        # scheduled, not yet fired or cancelled
         self._cancelled: int = 0   # cancelled entries still in the heap
+        # Lifetime observability counters (never reset by compaction) and
+        # the telemetry collector slot (repro.telemetry samples `pending`
+        # from outside the hot loop, so the drain path stays untouched).
+        self.cancels: int = 0
+        self.compactions: int = 0
+        self.telemetry = None
 
     @property
     def now(self) -> float:
@@ -205,6 +211,7 @@ class EventEngine:
         """Called by :meth:`Event.cancel` exactly once per live event."""
         self._live -= 1
         self._cancelled += 1
+        self.cancels += 1
         queue = self._queue
         if (self._cancelled * 2 > len(queue)
                 and len(queue) >= _COMPACT_MIN_ENTRIES):
@@ -219,6 +226,7 @@ class EventEngine:
         ]
         heapq.heapify(self._queue)
         self._cancelled = 0
+        self.compactions += 1
 
     # -- running -------------------------------------------------------------------
 
@@ -362,3 +370,5 @@ class EventEngine:
         self._events_processed = 0
         self._live = 0
         self._cancelled = 0
+        self.cancels = 0
+        self.compactions = 0

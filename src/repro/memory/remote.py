@@ -92,6 +92,10 @@ class HierMemConfig:
 class HierarchicalRemoteMemory(MemoryModel):
     """Remote memory model over a hierarchical pool (no in-switch compute)."""
 
+    # Telemetry collector slot: the class attribute opts this model into
+    # Telemetry.install() attachment; None is the zero-cost fast path.
+    telemetry = None
+
     def __init__(self, config: HierMemConfig) -> None:
         self.config = config
 
@@ -144,6 +148,14 @@ class HierarchicalRemoteMemory(MemoryModel):
             return self.config.access_latency_ns
         c = self.config
         n = self.num_pipeline_stages(request.size_bytes)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            metrics.counter("memory", "hiermem_transfers").inc()
+            metrics.counter("memory", "hiermem_pipeline_beats").inc(n)
+            peak = metrics.gauge("memory", "hiermem_max_pipeline_depth")
+            if n > peak.value:
+                peak.set(float(n))
         # The final (possibly partial) chunk only shortens the tail; we
         # follow the paper and treat all chunks as full-size.
         stages = self.stage_times_ns(self.effective_chunk_bytes(request.size_bytes))

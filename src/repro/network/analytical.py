@@ -230,6 +230,11 @@ class AnalyticalNetwork(NetworkBackend):
         _, sent_at = self.reserve_port(message.src, dims[0], inject)
         relay = sum(self.serialization_time(message.size_bytes, d)
                     for d in dims[1:])
+        if self.telemetry is not None:
+            # Store-and-forward: the message serializes once per crossed
+            # dimension, so each one carries the full payload.
+            for d in dims:
+                self.telemetry.add_dim_traffic(d, message.size_bytes)
         if on_sent is not None:
             self.engine.schedule_at(sent_at, on_sent)
         self.engine.schedule_at(sent_at + relay + prop, self._deliver, message)
@@ -242,3 +247,36 @@ class AnalyticalNetwork(NetworkBackend):
         if port is None or self.engine.now == 0:
             return 0.0
         return min(1.0, port.busy_ns / self.engine.now)
+
+    # -- telemetry ------------------------------------------------------------------
+
+    def telemetry_sample(self, telemetry, now: float) -> None:
+        """Sample the deepest egress-port backlog (queueing pressure)."""
+        super().telemetry_sample(telemetry, now)
+        deepest = 0.0
+        for port in self._ports.values():
+            backlog = port.free_at - now
+            if backlog > deepest:
+                deepest = backlog
+        telemetry.metrics.gauge(
+            "network", "max_port_backlog_ns").sample(now, deepest)
+
+    def telemetry_finalize(self, telemetry, total_ns: float) -> None:
+        """Per-port busy time and utilisation (heaviest ports first)."""
+        super().telemetry_finalize(telemetry, total_ns)
+        metrics = telemetry.metrics
+        ports = sorted(self._ports.items(), key=lambda kv: -kv[1].busy_ns)
+        cap = telemetry.config.max_link_metrics
+        for (npu, dim), port in ports[:cap]:
+            metrics.counter("network", "port_busy_ns",
+                            npu=npu, dim=dim).value = port.busy_ns
+            metrics.counter("network", "port_reservations",
+                            npu=npu, dim=dim).value = float(port.reservations)
+            if total_ns > 0:
+                metrics.gauge("network", "port_utilization",
+                              npu=npu, dim=dim).set(
+                                  min(1.0, port.busy_ns / total_ns))
+        metrics.counter("network", "ports_total").value = float(
+            len(self._ports))
+        metrics.counter("network", "ports_dropped").value = float(
+            max(0, len(self._ports) - cap))

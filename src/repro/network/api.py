@@ -50,6 +50,10 @@ class NetworkBackend(abc.ABC):
         self._waiting: Dict[Tuple[int, int, int], List[Callable[[Message], None]]] = {}
         self.messages_delivered = 0
         self.bytes_delivered = 0
+        # Telemetry collector (repro.telemetry.Telemetry), attached only
+        # when a TelemetryConfig is configured; None keeps every hook on
+        # the exact un-instrumented code path.
+        self.telemetry = None
 
     # -- NetworkAPI --------------------------------------------------------------
 
@@ -131,3 +135,20 @@ class NetworkBackend(abc.ABC):
 
     def undelivered_arrivals(self) -> int:
         return sum(len(v) for v in self._arrived.values())
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def telemetry_sample(self, telemetry, now: float) -> None:
+        """Periodic gauge sampling hook; backends override to add their
+        own time series (queue depths, active flows).  Called only while
+        a collector is installed."""
+        telemetry.metrics.gauge("network", "posted_receives").sample(
+            now, self.pending_receives())
+
+    def telemetry_finalize(self, telemetry, total_ns: float) -> None:
+        """End-of-run metric sweep; backends extend with per-link stats."""
+        telemetry.metrics.counter(
+            "network", "messages_delivered").value = float(
+                self.messages_delivered)
+        telemetry.metrics.counter("network", "bytes_delivered").value = float(
+            self.bytes_delivered)

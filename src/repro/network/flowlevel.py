@@ -267,11 +267,13 @@ class FlowLevelNetwork(NetworkBackend):
                 else:
                     if group.on_sent is not None:
                         group.on_sent()
+                    self._record_flow_span(group.message)
                     self.engine.schedule(flow.prop_latency_ns, self._deliver,
                                          group.message)
                 continue
             if flow.on_sent is not None:
                 flow.on_sent()
+            self._record_flow_span(flow.message)
             self.engine.schedule(flow.prop_latency_ns, self._deliver,
                                  flow.message)
         self._reallocate()
@@ -284,3 +286,31 @@ class FlowLevelNetwork(NetworkBackend):
 
     def link_count(self) -> int:
         return len(self._links)
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def _record_flow_span(self, message: Message) -> None:
+        """One span per fully-serialized message on a shared flow track."""
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.chunk_spans:
+            telemetry.spans.add(
+                "flows", f"{message.src}->{message.dest}", "flow",
+                message.send_time, self.engine.now,
+                {"size_bytes": message.size_bytes})
+
+    def telemetry_sample(self, telemetry, now: float) -> None:
+        """Sample concurrency: flows in flight drive solver cost."""
+        super().telemetry_sample(telemetry, now)
+        telemetry.metrics.gauge("network", "active_flows").sample(
+            now, len(self._flows))
+
+    def telemetry_finalize(self, telemetry, total_ns: float) -> None:
+        """Solver iterations and fidelity escalations (HyGra-style)."""
+        super().telemetry_finalize(telemetry, total_ns)
+        metrics = telemetry.metrics
+        metrics.counter("network", "solver_iterations").value = float(
+            self.rate_recomputations)
+        metrics.counter("network", "granularity_escalations").value = float(
+            self.granularity_escalations)
+        metrics.counter("network", "links_total").value = float(
+            len(self._links))

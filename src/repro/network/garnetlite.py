@@ -30,13 +30,14 @@ DEFAULT_PACKET_BYTES = 4096
 class _Link:
     """A directed link: serializing resource with latency."""
 
-    __slots__ = ("bandwidth", "latency_ns", "free_at", "bytes_carried")
+    __slots__ = ("bandwidth", "latency_ns", "free_at", "bytes_carried", "key")
 
     def __init__(self, bandwidth_gbps: float, latency_ns: float) -> None:
         self.bandwidth = bandwidth_gbps  # GB/s == bytes/ns
         self.latency_ns = latency_ns
         self.free_at = 0.0
         self.bytes_carried = 0
+        self.key: Tuple[NodeId, NodeId] = ((), ())  # set by _build_links
 
     def transmit(self, now: float, size_bytes: int) -> Tuple[float, float]:
         """Serialize a packet; returns (departure_complete, arrival)."""
@@ -111,6 +112,8 @@ class GarnetLiteNetwork(NetworkBackend):
     def _build_links(self) -> None:
         self._links = build_links(
             self.topology, lambda bw, lat: _Link(bw, lat))
+        for key, link in self._links.items():
+            link.key = key
         self._path_cache.clear()
 
     def route(self, src: int, dst: int) -> List[NodeId]:
@@ -152,8 +155,17 @@ class GarnetLiteNetwork(NetworkBackend):
     def _hop(self, flow: _PacketFlow, links: Tuple[_Link, ...], hop_idx: int,
              size: int, count: int) -> None:
         """Advance one segment (``count`` packets) across ``links[hop_idx]``."""
-        departed, arrived = links[hop_idx].transmit(self.engine.now, size)
+        link = links[hop_idx]
+        departed, arrived = link.transmit(self.engine.now, size)
         self.packet_hops += count
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.packet_spans:
+            # One span per segment-hop on the link's own track: the
+            # serialization window just reserved on the link.
+            telemetry.spans.add(
+                f"link {link.key[0]}->{link.key[1]}",
+                f"pkt x{count}", "packet",
+                departed - size / link.bandwidth, departed)
         if hop_idx == 0:
             flow.packets_injected += count
             if flow.packets_injected == flow.packets_total and flow.on_sent:
@@ -178,3 +190,40 @@ class GarnetLiteNetwork(NetworkBackend):
     def max_link_bytes(self) -> int:
         """Heaviest-loaded link — nonuniformity here indicates congestion."""
         return max((l.bytes_carried for l in self._links.values()), default=0)
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def telemetry_sample(self, telemetry, now: float) -> None:
+        """Sample router-queue pressure: per-link serialization backlog."""
+        super().telemetry_sample(telemetry, now)
+        deepest = 0.0
+        queued = 0
+        for link in self._links.values():
+            backlog = link.free_at - now
+            if backlog > 0:
+                queued += 1
+                if backlog > deepest:
+                    deepest = backlog
+        metrics = telemetry.metrics
+        metrics.gauge("network", "max_link_backlog_ns").sample(now, deepest)
+        metrics.gauge("network", "busy_links").sample(now, queued)
+
+    def telemetry_finalize(self, telemetry, total_ns: float) -> None:
+        """Per-link bytes and utilisation (heaviest links first) + hops."""
+        super().telemetry_finalize(telemetry, total_ns)
+        metrics = telemetry.metrics
+        metrics.counter("network", "packet_hops").value = float(
+            self.packet_hops)
+        links = sorted(self._links.values(), key=lambda l: -l.bytes_carried)
+        cap = telemetry.config.max_link_metrics
+        for link in links[:cap]:
+            label = f"{link.key[0]}->{link.key[1]}"
+            metrics.counter("network", "link_bytes",
+                            link=label).value = float(link.bytes_carried)
+            if total_ns > 0:
+                metrics.gauge("network", "link_utilization", link=label).set(
+                    min(1.0, link.bytes_carried / link.bandwidth / total_ns))
+        metrics.counter("network", "links_total").value = float(
+            len(self._links))
+        metrics.counter("network", "links_dropped").value = float(
+            max(0, len(self._links) - cap))

@@ -15,9 +15,14 @@ from repro.stats.breakdown import (
 )
 from repro.stats.report import format_breakdown_table, format_table
 from repro.stats.resilience import FaultRecord, ResilienceReport
-from repro.stats.chrometrace import dump_chrome_trace, to_chrome_trace
+from repro.stats.chrometrace import (
+    dump_chrome_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
 from repro.stats.timeline import render_timeline, utilization_by_npu
 from repro.stats.export import (
+    RESULT_SCHEMA_VERSION,
     collectives_to_csv,
     dump_result_json,
     load_result_json,
@@ -25,6 +30,7 @@ from repro.stats.export import (
 )
 
 __all__ = [
+    "RESULT_SCHEMA_VERSION",
     "collectives_to_csv",
     "dump_chrome_trace",
     "dump_result_json",
@@ -41,4 +47,5 @@ __all__ = [
     "render_timeline",
     "to_chrome_trace",
     "utilization_by_npu",
+    "validate_chrome_trace",
 ]

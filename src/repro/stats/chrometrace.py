@@ -5,13 +5,28 @@ speedscope all consume — one process per simulation, one thread lane per
 NPU, one complete event per logged interval (named after the ET node that
 produced it).  This is the practical way to inspect long runs: pipeline
 bubbles, exposed collectives, and prefetch depth are immediately visible.
+
+Beyond the per-NPU activity lanes the exporter understands two optional
+inputs:
+
+- ``collectives`` (a list of :class:`~repro.core.results.CollectiveRecord`)
+  adds flow arrows ("s"/"f" event pairs) from each collective's
+  representative NPU to every other participating NPU at completion time —
+  the cross-NPU dependency the rendezvous enforces;
+- ``telemetry`` (a :class:`~repro.telemetry.TelemetryReport`) adds the
+  recorded span tracks as their own process, the recorder's dependency
+  flows, and one Perfetto counter track ("C" events) per sampled gauge
+  time series.
+
+Events are emitted metadata-first and then sorted by timestamp, as the
+Trace Event Format recommends for stream processing.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.stats.breakdown import Activity, ActivityLog
 
@@ -23,29 +38,34 @@ _CATEGORY = {
     Activity.COMM: "communication",
 }
 
+# Process ids of the exported lanes: NPU activity, telemetry span tracks,
+# and gauge counter tracks each get their own process group in the UI.
+_PID_ACTIVITY = 0
+_PID_SPANS = 1
+_PID_COUNTERS = 2
 
-def to_chrome_trace(
-    log: ActivityLog,
-    process_name: str = "repro-simulation",
-    npus: Optional[List[int]] = None,
-) -> Dict[str, Any]:
-    """Convert an activity log to a Trace Event Format document.
 
-    Timestamps are microseconds (the format's unit); durations keep
-    nanosecond precision as fractional microseconds.
-    """
-    events: List[Dict[str, Any]] = [{
+def _ns_to_us(t_ns: float) -> float:
+    """Trace Event timestamps are microseconds; keep ns as fractions."""
+    return t_ns / 1e3
+
+
+def _activity_events(log: ActivityLog, process_name: str,
+                     npus: Optional[List[int]],
+                     meta: List[Dict[str, Any]],
+                     events: List[Dict[str, Any]]) -> None:
+    meta.append({
         "name": "process_name",
         "ph": "M",
-        "pid": 0,
+        "pid": _PID_ACTIVITY,
         "args": {"name": process_name},
-    }]
+    })
     selected = npus if npus is not None else log.npus()
     for npu in selected:
-        events.append({
+        meta.append({
             "name": "thread_name",
             "ph": "M",
-            "pid": 0,
+            "pid": _PID_ACTIVITY,
             "tid": npu,
             "args": {"name": f"NPU {npu}"},
         })
@@ -54,19 +74,208 @@ def to_chrome_trace(
                 "name": label or activity.value,
                 "cat": _CATEGORY[activity],
                 "ph": "X",
-                "pid": 0,
+                "pid": _PID_ACTIVITY,
                 "tid": npu,
-                "ts": start / 1e3,
-                "dur": (end - start) / 1e3,
+                "ts": _ns_to_us(start),
+                "dur": _ns_to_us(end - start),
                 "args": {"activity": activity.value},
             })
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _collective_flow_events(collectives: Sequence[Any],
+                            events: List[Dict[str, Any]]) -> None:
+    """Rendezvous arrows: rep NPU at start -> each member at finish.
+
+    One flow per (collective, member) pair, binding to the enclosing
+    activity slices, so Perfetto draws the cross-NPU dependency every
+    collective imposes on its participants.
+    """
+    flow_id = 0
+    for record in collectives:
+        members = getattr(record, "members", ()) or ()
+        for member in members:
+            if member == record.rep_npu:
+                continue
+            flow_id += 1
+            name = f"collective:{record.name}"
+            events.append({
+                "name": name,
+                "cat": "collective.dep",
+                "ph": "s",
+                "id": flow_id,
+                "pid": _PID_ACTIVITY,
+                "tid": record.rep_npu,
+                "ts": _ns_to_us(record.start_ns),
+            })
+            events.append({
+                "name": name,
+                "cat": "collective.dep",
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "pid": _PID_ACTIVITY,
+                "tid": member,
+                "ts": _ns_to_us(record.finish_ns),
+            })
+
+
+def _telemetry_events(telemetry: Any, meta: List[Dict[str, Any]],
+                      events: List[Dict[str, Any]]) -> None:
+    meta.append({
+        "name": "process_name",
+        "ph": "M",
+        "pid": _PID_SPANS,
+        "args": {"name": "telemetry spans"},
+    })
+    track_tid: Dict[str, int] = {}
+    for track in telemetry.spans.tracks():
+        tid = track_tid[track] = len(track_tid)
+        meta.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID_SPANS,
+            "tid": tid,
+            "args": {"name": track},
+        })
+    for track, name, category, start_ns, end_ns, args in telemetry.spans.spans:
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": category,
+            "ph": "X",
+            "pid": _PID_SPANS,
+            "tid": track_tid[track],
+            "ts": _ns_to_us(start_ns),
+            "dur": _ns_to_us(end_ns - start_ns),
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+    # The recorder's flow ids are disjoint per recorder, so reuse directly;
+    # the "telemetry." id namespace avoids collision with collective flows.
+    for flow_id, src_track, src_ts, dst_track, dst_ts, name in telemetry.spans.flows:
+        events.append({
+            "name": name,
+            "cat": "telemetry.dep",
+            "ph": "s",
+            "id": f"t{flow_id}",
+            "pid": _PID_SPANS,
+            "tid": track_tid[src_track],
+            "ts": _ns_to_us(src_ts),
+        })
+        events.append({
+            "name": name,
+            "cat": "telemetry.dep",
+            "ph": "f",
+            "bp": "e",
+            "id": f"t{flow_id}",
+            "pid": _PID_SPANS,
+            "tid": track_tid[dst_track],
+            "ts": _ns_to_us(dst_ts),
+        })
+    counters_emitted = False
+    for (layer, name, labels), metric in telemetry.metrics.items():
+        series = getattr(metric, "series", None)
+        if series is None or not len(series):
+            continue
+        counters_emitted = True
+        label_suffix = "".join(f".{v}" for _, v in labels)
+        track_name = f"{layer}.{name}{label_suffix}"
+        for t_ns, value in zip(series.times, series.values):
+            events.append({
+                "name": track_name,
+                "ph": "C",
+                "pid": _PID_COUNTERS,
+                "ts": _ns_to_us(t_ns),
+                "args": {"value": value},
+            })
+    if counters_emitted:
+        meta.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID_COUNTERS,
+            "args": {"name": "telemetry counters"},
+        })
+
+
+def to_chrome_trace(
+    log: ActivityLog,
+    process_name: str = "repro-simulation",
+    npus: Optional[List[int]] = None,
+    collectives: Optional[Sequence[Any]] = None,
+    telemetry: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Convert an activity log (and optional extras) to Trace Event JSON.
+
+    Timestamps are microseconds (the format's unit); durations keep
+    nanosecond precision as fractional microseconds.  Metadata events
+    lead, then all timed events in non-decreasing ``ts`` order.
+    """
+    meta: List[Dict[str, Any]] = []
+    events: List[Dict[str, Any]] = []
+    _activity_events(log, process_name, npus, meta, events)
+    if collectives:
+        _collective_flow_events(collectives, events)
+    if telemetry is not None:
+        _telemetry_events(telemetry, meta, events)
+    events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(doc: Dict[str, Any]) -> None:
+    """Check a document against the Trace Event Format essentials.
+
+    Raises ``ValueError`` on the first violation: unknown phase, missing
+    required fields per phase, negative duration, unterminated flow
+    (an "s" id with no matching "f" or vice versa), or timed events out
+    of timestamp order.
+    """
+    if "traceEvents" not in doc:
+        raise ValueError("missing traceEvents")
+    required = {
+        "M": ("name", "ph", "pid"),
+        "X": ("name", "ph", "pid", "tid", "ts", "dur"),
+        "C": ("name", "ph", "pid", "ts", "args"),
+        "s": ("name", "ph", "pid", "tid", "ts", "id"),
+        "f": ("name", "ph", "pid", "tid", "ts", "id"),
+    }
+    flow_starts: Dict[Any, int] = {}
+    flow_finishes: Dict[Any, int] = {}
+    last_ts: Optional[float] = None
+    for i, event in enumerate(doc["traceEvents"]):
+        ph = event.get("ph")
+        if ph not in required:
+            raise ValueError(f"event {i}: unknown phase {ph!r}")
+        for field in required[ph]:
+            if field not in event:
+                raise ValueError(f"event {i} (ph {ph!r}): missing {field!r}")
+        if ph == "M":
+            if last_ts is not None:
+                raise ValueError(f"event {i}: metadata after timed events")
+            continue
+        ts = event["ts"]
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(
+                f"event {i}: timestamp {ts} out of order (after {last_ts})")
+        last_ts = ts
+        if ph == "X" and event["dur"] < 0:
+            raise ValueError(f"event {i}: negative duration {event['dur']}")
+        if ph == "s":
+            flow_starts[event["id"]] = flow_starts.get(event["id"], 0) + 1
+        elif ph == "f":
+            flow_finishes[event["id"]] = flow_finishes.get(event["id"], 0) + 1
+    if flow_starts != flow_finishes:
+        unmatched = set(flow_starts) ^ set(flow_finishes)
+        raise ValueError(f"unmatched flow ids: {sorted(map(str, unmatched))}")
 
 
 def dump_chrome_trace(
     log: ActivityLog,
     path: Union[str, Path],
     process_name: str = "repro-simulation",
+    collectives: Optional[Sequence[Any]] = None,
+    telemetry: Optional[Any] = None,
 ) -> None:
     """Write a trace JSON file loadable by chrome://tracing / Perfetto."""
-    Path(path).write_text(json.dumps(to_chrome_trace(log, process_name)))
+    doc = to_chrome_trace(log, process_name, collectives=collectives,
+                          telemetry=telemetry)
+    Path(path).write_text(json.dumps(doc))

@@ -18,9 +18,20 @@ from repro.stats.breakdown import Activity
 if TYPE_CHECKING:  # avoid a stats <-> core import cycle at runtime
     from repro.core.results import RunResult
 
+#: Version of the ``result_to_dict`` document layout.  History:
+#: 1 — original layout (implicit; documents without the key are v1);
+#: 2 — adds ``schema_version``, per-collective ``members``, and the
+#:     optional ``telemetry`` block (simulated-time metrics + span
+#:     summary; the wall-clock profile stays out for reproducibility).
+RESULT_SCHEMA_VERSION = 2
+
 
 def result_to_dict(result: "RunResult") -> Dict[str, Any]:
-    """Flatten a :class:`RunResult` into JSON-serializable primitives."""
+    """Flatten a :class:`RunResult` into JSON-serializable primitives.
+
+    The output is bit-reproducible across identical runs: wall-clock
+    quantities (``wall_time_s``, the telemetry profile) are excluded.
+    """
     def breakdown_dict(b):
         return {
             "total_ns": b.total_ns,
@@ -28,7 +39,8 @@ def result_to_dict(result: "RunResult") -> Dict[str, Any]:
             **{a.value + "_ns": b.exposed_ns.get(a, 0.0) for a in Activity},
         }
 
-    return {
+    doc: Dict[str, Any] = {
+        "schema_version": RESULT_SCHEMA_VERSION,
         "total_time_ns": result.total_time_ns,
         "nodes_executed": result.nodes_executed,
         "events_processed": result.events_processed,
@@ -48,10 +60,14 @@ def result_to_dict(result: "RunResult") -> Dict[str, Any]:
                 "finish_ns": c.finish_ns,
                 "duration_ns": c.duration_ns,
                 "traffic_by_dim": {str(d): t for d, t in c.traffic_by_dim.items()},
+                "members": list(c.members),
             }
             for c in result.collectives
         ],
     }
+    if result.telemetry is not None:
+        doc["telemetry"] = result.telemetry.to_dict(include_profile=False)
+    return doc
 
 
 def dump_result_json(result: "RunResult", path: Union[str, Path],

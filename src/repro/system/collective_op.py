@@ -251,14 +251,20 @@ class CollectiveOperation:
         """
         finish_at = self.engine.now + plan.fill_ns
         faults = self.network.faults
+        telemetry = self.network.telemetry
         for dim, load in plan.loads_ns.items():
             if load <= 0.0:
                 continue
             if faults is not None and not faults.idle:
                 load = faults.stretch_collective(dim, self.group_members, load)
-            _, end = self.network.reserve_port(self.rep_npu, dim, load)
+            start, end = self.network.reserve_port(self.rep_npu, dim, load)
             finish_at = max(finish_at, end + plan.fill_ns)
-            self.traffic_by_dim[dim] += plan.traffic_bytes.get(dim, 0.0)
+            traffic = plan.traffic_bytes.get(dim, 0.0)
+            self.traffic_by_dim[dim] += traffic
+            if telemetry is not None and telemetry.chunk_spans:
+                telemetry.record_phase(
+                    self.rep_npu, dim, f"{self.collective.value}:fluid",
+                    start, end)
         self._chunks_done = self.num_chunks
         self.engine.schedule_at(finish_at, self._finish)
 
@@ -284,17 +290,18 @@ class CollectiveOperation:
             # phase's exit payload, popped in reverse order.
             entry = chunk.ag_shards.pop()
             busy = phase_busy_ns(spec, kind, entry)
-            self.traffic_by_dim[dim] += phase_traffic_bytes(spec, kind, entry)
+            traffic = phase_traffic_bytes(spec, kind, entry)
             chunk.payload = entry * spec.size
         else:
             busy = phase_busy_ns(spec, kind, chunk.payload)
-            self.traffic_by_dim[dim] += phase_traffic_bytes(spec, kind, chunk.payload)
+            traffic = phase_traffic_bytes(spec, kind, chunk.payload)
             if kind is PhaseKind.REDUCE_SCATTER:
                 chunk.payload /= spec.size
                 if self.collective is CollectiveType.ALL_REDUCE:
                     chunk.ag_shards.append(chunk.payload)
             elif kind is PhaseKind.ALL_GATHER:
                 chunk.payload *= spec.size
+        self.traffic_by_dim[dim] += traffic
         # A synchronous phase paces at its slowest member: active faults
         # (stragglers, sick links, degraded dims) stretch the port time of
         # every phase that starts while they are active.
@@ -304,7 +311,12 @@ class CollectiveOperation:
         # The port serializes the traffic; the propagation latency delays
         # only this chunk (the next chunk's serialization overlaps it).
         self.network.consume_pending(self.rep_npu, dim, busy)
-        _, end = self.network.reserve_port(self.rep_npu, dim, busy)
+        start, end = self.network.reserve_port(self.rep_npu, dim, busy)
+        telemetry = self.network.telemetry
+        if telemetry is not None and telemetry.chunk_spans:
+            telemetry.record_phase(
+                self.rep_npu, dim, f"{self.collective.value}:{kind.value}",
+                start, end)
         self.engine.schedule_at(end + phase_latency_ns(spec), self._advance, chunk)
 
     def _chunk_done(self) -> None:

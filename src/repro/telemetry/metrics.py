@@ -1,0 +1,208 @@
+"""Metrics primitives: counters, gauges, time-weighted histograms.
+
+Every metric is keyed by ``(layer, name, labels)`` — ``layer`` is the
+simulator layer that owns it (``events``, ``network``, ``system``,
+``memory``), ``name`` is the quantity, and ``labels`` is a sorted tuple
+of ``(key, value)`` pairs distinguishing instances (``dim=2``,
+``location=remote``).  The registry hands out live metric objects, so hot
+paths fetch a metric once and then pay only an attribute update per
+observation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+MetricKey = Tuple[str, str, LabelKey]
+
+
+class Counter:
+    """A monotonically increasing total (bytes, events, escalations)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class TimeSeries:
+    """A bounded ``(t, value)`` series with decimation.
+
+    When the sample count exceeds ``max_samples`` every other point is
+    dropped, so the series always covers the full horizon at whatever
+    resolution the cap affords (the standard trick for unknown-length
+    runs).
+    """
+
+    __slots__ = ("times", "values", "max_samples", "decimations")
+
+    def __init__(self, max_samples: int = 512) -> None:
+        self.times: List[float] = []
+        self.values: List[float] = []
+        self.max_samples = max_samples
+        self.decimations = 0
+
+    def append(self, t: float, value: float) -> None:
+        self.times.append(t)
+        self.values.append(value)
+        if len(self.times) > self.max_samples:
+            self.times = self.times[::2]
+            self.values = self.values[::2]
+            self.decimations += 1
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class Gauge:
+    """A point-in-time level (heap size, queue depth, occupancy).
+
+    ``sample`` additionally appends to the gauge's time series, which the
+    Chrome-trace exporter turns into a Perfetto counter track.
+    """
+
+    __slots__ = ("value", "series")
+
+    def __init__(self, max_samples: int = 512) -> None:
+        self.value = 0.0
+        self.series = TimeSeries(max_samples)
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def sample(self, t: float, value: float) -> None:
+        self.value = value
+        self.series.append(t, value)
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"type": "gauge", "value": self.value}
+        if len(self.series):
+            payload["series"] = {
+                "t_ns": list(self.series.times),
+                "value": list(self.series.values),
+            }
+        return payload
+
+
+class TimeWeightedHistogram:
+    """Statistics of a level weighted by how long it held each value.
+
+    ``update(t, v)`` charges the elapsed time since the previous update to
+    the previous value; ``close(t)`` flushes the final segment.  The
+    time-weighted mean is then ``sum(v_i * dt_i) / sum(dt_i)`` — the
+    right average for quantities like pipeline depth or occupancy, where
+    a plain per-observation mean over-weights brief excursions.
+    """
+
+    __slots__ = ("weight", "weighted_sum", "min", "max", "observations",
+                 "_last_t", "_last_v")
+
+    def __init__(self) -> None:
+        self.weight = 0.0
+        self.weighted_sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.observations = 0
+        self._last_t: Optional[float] = None
+        self._last_v = 0.0
+
+    def update(self, t: float, value: float) -> None:
+        if self._last_t is not None and t > self._last_t:
+            span = t - self._last_t
+            self.weight += span
+            self.weighted_sum += self._last_v * span
+        self._last_t = t
+        self._last_v = value
+        self.observations += 1
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def close(self, t: float) -> None:
+        """Flush the open segment up to ``t`` (idempotent per instant)."""
+        if self._last_t is not None and t > self._last_t:
+            span = t - self._last_t
+            self.weight += span
+            self.weighted_sum += self._last_v * span
+            self._last_t = t
+
+    @property
+    def mean(self) -> float:
+        return self.weighted_sum / self.weight if self.weight else 0.0
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "type": "time_weighted_histogram",
+            "weight_ns": self.weight,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "observations": self.observations,
+        }
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class MetricsRegistry:
+    """The ``(layer, name, labels)`` keyed store of live metrics."""
+
+    def __init__(self, max_series_samples: int = 512) -> None:
+        self._metrics: Dict[MetricKey, Any] = {}
+        self._max_series_samples = max_series_samples
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def counter(self, layer: str, name: str, **labels: Any) -> Counter:
+        key = (layer, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Counter()
+        return metric
+
+    def gauge(self, layer: str, name: str, **labels: Any) -> Gauge:
+        key = (layer, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Gauge(self._max_series_samples)
+        return metric
+
+    def histogram(self, layer: str, name: str,
+                  **labels: Any) -> TimeWeightedHistogram:
+        key = (layer, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = TimeWeightedHistogram()
+        return metric
+
+    def get(self, layer: str, name: str, **labels: Any) -> Optional[Any]:
+        """Look up a metric without creating it."""
+        return self._metrics.get((layer, name, _label_key(labels)))
+
+    def value(self, layer: str, name: str, **labels: Any) -> float:
+        """Convenience: a metric's scalar value, 0.0 if absent."""
+        metric = self.get(layer, name, **labels)
+        return metric.value if metric is not None else 0.0
+
+    def items(self):
+        return self._metrics.items()
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        """Flatten to JSON-ready dicts, sorted for stable output."""
+        out = []
+        for (layer, name, labels), metric in sorted(
+                self._metrics.items(),
+                key=lambda kv: (kv[0][0], kv[0][1], repr(kv[0][2]))):
+            entry = {"layer": layer, "name": name,
+                     "labels": {k: v for k, v in labels}}
+            entry.update(metric.to_payload())
+            out.append(entry)
+        return out

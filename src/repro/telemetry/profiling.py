@@ -1,0 +1,55 @@
+"""Self-profiling: wall-clock attribution of simulator sections.
+
+Answers "where does the *simulator* spend host time" (as opposed to where
+the *simulated system* spends simulated time): trace construction, the
+event-loop drain, result collection.  Everything here is wall-clock
+dependent, so it is exported only through ``--metrics-out`` / the
+``RunResult.telemetry`` profile block — never through
+:func:`repro.stats.export.result_to_dict`, which must stay
+bit-reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict
+
+
+class WallClockProfiler:
+    """Named wall-clock sections with accumulated seconds and call counts."""
+
+    def __init__(self) -> None:
+        self._sections: Dict[str, Dict[str, float]] = {}
+
+    @contextmanager
+    def section(self, name: str):
+        """Time a ``with`` block under ``name`` (re-entrant accumulation)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            entry = self._sections.get(name)
+            if entry is None:
+                entry = self._sections[name] = {"wall_s": 0.0, "calls": 0}
+            entry["wall_s"] += elapsed
+            entry["calls"] += 1
+
+    def record(self, name: str, wall_s: float) -> None:
+        """Attribute already-measured seconds to a section."""
+        entry = self._sections.get(name)
+        if entry is None:
+            entry = self._sections[name] = {"wall_s": 0.0, "calls": 0}
+        entry["wall_s"] += wall_s
+        entry["calls"] += 1
+
+    def wall_s(self, name: str) -> float:
+        entry = self._sections.get(name)
+        return entry["wall_s"] if entry else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            name: {"wall_s": entry["wall_s"], "calls": int(entry["calls"])}
+            for name, entry in sorted(self._sections.items())
+        }

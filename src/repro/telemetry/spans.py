@@ -1,0 +1,77 @@
+"""Hierarchical simulated-time spans and dependency flows.
+
+A *span* is a named interval of simulated time on a *track* — a string
+such as ``"collectives"``, ``"port npu0.d2"``, or ``"link (0,)->(1,)"``
+that the Chrome-trace exporter maps to its own thread lane.  A *flow* is
+a directed arrow between two points on (possibly different) tracks; the
+executor uses flows to link each collective to its predecessor on the
+same communicator, so pipeline bubbles are traceable to the operation
+that caused them.
+
+The recorder is bounded: past ``max_spans`` recorded spans, further adds
+are counted in ``dropped`` instead of stored (the count is exported, so
+truncation is never silent).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _TallyCounter
+from typing import Any, Dict, List, Optional, Tuple
+
+#: (track, name, category, start_ns, end_ns, args-or-None)
+SpanTuple = Tuple[str, str, str, float, float, Optional[Dict[str, Any]]]
+#: (flow_id, src_track, src_ts_ns, dst_track, dst_ts_ns, name)
+FlowTuple = Tuple[int, str, float, str, float, str]
+
+
+class SpanRecorder:
+    """Bounded append-only store of finished spans and flows."""
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        self.max_spans = max_spans
+        self.spans: List[SpanTuple] = []
+        self.flows: List[FlowTuple] = []
+        self.dropped = 0
+        self._next_flow_id = 1
+
+    def add(self, track: str, name: str, category: str,
+            start_ns: float, end_ns: float,
+            args: Optional[Dict[str, Any]] = None) -> None:
+        """Record one finished span; drops (and counts) past the cap."""
+        if end_ns < start_ns:
+            raise ValueError(
+                f"span {name!r} ends before it starts ({start_ns}, {end_ns})")
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append((track, name, category, start_ns, end_ns, args))
+
+    def flow(self, src_track: str, src_ts_ns: float,
+             dst_track: str, dst_ts_ns: float, name: str = "dep") -> int:
+        """Record a dependency arrow; returns its flow id."""
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        self.flows.append(
+            (flow_id, src_track, src_ts_ns, dst_track, dst_ts_ns, name))
+        return flow_id
+
+    def tracks(self) -> List[str]:
+        """Distinct track names in first-use order."""
+        seen: Dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span[0])
+        for flow in self.flows:
+            seen.setdefault(flow[1])
+            seen.setdefault(flow[3])
+        return list(seen)
+
+    def by_category(self) -> Dict[str, int]:
+        return dict(_TallyCounter(span[2] for span in self.spans))
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "count": len(self.spans),
+            "flows": len(self.flows),
+            "dropped": self.dropped,
+            "by_category": self.by_category(),
+        }

@@ -156,6 +156,64 @@ class TestValidation:
         assert "gpt3" in capsys.readouterr().out
 
 
+class TestTelemetryFlags:
+    def test_metrics_out_writes_versioned_json(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        code = main(["run", "--topology", "Ring(4)_Switch(2)",
+                     "--bandwidths", "100,50", "--workload", "allreduce",
+                     "--payload-mib", "16", "--metrics-out", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "metrics" in out
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == 1
+        names = {(m["layer"], m["name"]) for m in doc["metrics"]}
+        assert ("events", "events_processed") in names
+        assert ("network", "dim_traffic_bytes") in names
+
+    def test_trace_level_adds_telemetry_tracks(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        code = main(["run", "--topology", "Ring(4)_Switch(2)",
+                     "--bandwidths", "100,50", "--workload", "allreduce",
+                     "--payload-mib", "16", "--trace-level", "chunk",
+                     "--chrome-trace", str(trace_path)])
+        assert code == 0
+        doc = json.loads(trace_path.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "C" in phases  # counter tracks
+        assert "X" in phases
+
+    def test_metrics_out_without_trace_level_still_collects(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        code = main(["run", "--topology", "Ring(4)", "--bandwidths", "100",
+                     "--workload", "allreduce", "--payload-mib", "1",
+                     "--metrics-out", str(path)])
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["trace_level"] == "off"
+        assert doc["metrics"]
+
+    def test_bad_trace_level_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--topology", "Ring(4)", "--bandwidths", "100",
+                  "--trace-level", "verbose"])
+
+    def test_packet_level_requires_packet_backend(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["run", "--topology", "Ring(4)", "--bandwidths", "100",
+                  "--workload", "allreduce", "--payload-mib", "1",
+                  "--trace-level", "packet"])
+        assert "garnet or flow" in str(exc_info.value)
+
+    def test_packet_level_with_garnet_backend(self, capsys):
+        code = main(["run", "--topology", "Ring(8)", "--bandwidths", "100",
+                     "--workload", "pp-gpt3", "--pp", "8", "--dp", "1",
+                     "--mp", "1", "--microbatches", "2",
+                     "--backend", "garnet", "--trace-level", "packet"])
+        assert code == 0
+        assert "total" in capsys.readouterr().out
+
+
 class TestFaultFlags:
     def test_faults_print_resilience_report(self, capsys):
         code = main(["run", "--topology", "Ring(8)", "--bandwidths", "100",

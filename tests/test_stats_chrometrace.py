@@ -6,7 +6,12 @@ import pytest
 
 import repro
 from repro.stats import Activity, ActivityLog
-from repro.stats.chrometrace import dump_chrome_trace, to_chrome_trace
+from repro.stats.chrometrace import (
+    dump_chrome_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.telemetry import TelemetryConfig, TraceLevel
 from repro.workload import ParallelismSpec, generate_pipeline_parallel
 from repro.workload.models import TransformerSpec
 
@@ -57,6 +62,164 @@ class TestToChromeTrace:
         assert doc["displayTimeUnit"] == "ms"
         meta = doc["traceEvents"][0]
         assert meta["args"]["name"] == "unit-test"
+
+
+class TestEventOrdering:
+    def test_metadata_first_then_monotonic_timestamps(self):
+        log = ActivityLog()
+        # Recorded deliberately out of time order across NPUs.
+        log.record(0, 500, 600, Activity.COMM, "late")
+        log.record(1, 0, 100, Activity.COMPUTE, "early")
+        log.record(0, 200, 300, Activity.COMPUTE, "middle")
+        doc = to_chrome_trace(log)
+        events = doc["traceEvents"]
+        phases = [e["ph"] for e in events]
+        first_timed = phases.index("X")
+        assert all(ph == "M" for ph in phases[:first_timed])
+        timestamps = [e["ts"] for e in events[first_timed:]]
+        assert timestamps == sorted(timestamps)
+
+    def test_display_time_unit_present(self):
+        assert to_chrome_trace(_log())["displayTimeUnit"] == "ms"
+
+
+class TestCollectiveFlows:
+    def _result(self):
+        # Two traced NPUs joining the same dim-0 collectives: the
+        # rendezvous makes both members of each record.
+        from repro.trace.node import ETNode, NodeType
+        from repro.trace.graph import ExecutionTrace
+        from repro.trace import CollectiveType
+
+        def ar(node_id, size, deps=()):
+            return ETNode(node_id, NodeType.COMM_COLLECTIVE,
+                          tensor_bytes=size, deps=deps,
+                          collective=CollectiveType.ALL_REDUCE,
+                          comm_dims=(0,))
+
+        topo = repro.parse_topology("Ring(4)_Switch(2)", [100, 50])
+        t0 = ExecutionTrace(0, [ar(0, 1000), ar(1, 2000, deps=(0,))])
+        t1 = ExecutionTrace(1, [ar(0, 1000), ar(1, 2000, deps=(0,))])
+        return repro.simulate({0: t0, 1: t1},
+                              repro.SystemConfig(topology=topo))
+
+    def test_flow_events_per_member(self):
+        result = self._result()
+        doc = to_chrome_trace(result.activity, collectives=result.collectives)
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        multi = [c for c in result.collectives if len(c.members) > 1]
+        assert multi, "expected multi-member collectives"
+        expected = sum(len(c.members) - 1 for c in result.collectives)
+        assert len(starts) == len(finishes) == expected
+        assert all(e["bp"] == "e" for e in finishes)
+        # Arrows start on the representative lane and end on a member lane.
+        by_id = {e["id"]: e for e in starts}
+        for fin in finishes:
+            start = by_id[fin["id"]]
+            assert start["tid"] != fin["tid"]
+            assert start["ts"] <= fin["ts"]
+
+    def test_validator_accepts_flow_trace(self):
+        result = self._result()
+        doc = to_chrome_trace(result.activity, collectives=result.collectives)
+        validate_chrome_trace(doc)
+
+
+class TestTelemetryTracks:
+    def _result(self):
+        topo = repro.parse_topology("Ring(4)_Switch(2)", [100, 50])
+        traces = repro.generate_single_collective(
+            topo, repro.CollectiveType.ALL_REDUCE, 1 << 24)
+        config = repro.SystemConfig(
+            topology=topo,
+            telemetry=TelemetryConfig(trace_level=TraceLevel.CHUNK))
+        return repro.simulate(traces, config)
+
+    def test_span_tracks_get_named_lanes(self):
+        result = self._result()
+        doc = to_chrome_trace(result.activity, telemetry=result.telemetry)
+        lanes = [e for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"
+                 and e["pid"] == 1]
+        names = {e["args"]["name"] for e in lanes}
+        assert "collectives" in names
+        assert any(n.startswith("port npu") for n in names)
+        spans = [e for e in doc["traceEvents"]
+                 if e["ph"] == "X" and e["pid"] == 1]
+        assert spans
+
+    def test_counter_tracks_from_gauge_series(self):
+        result = self._result()
+        doc = to_chrome_trace(result.activity, telemetry=result.telemetry)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        names = {e["name"] for e in counters}
+        assert "events.heap_size" in names
+        assert all("value" in e["args"] for e in counters)
+
+    def test_validator_accepts_full_trace(self):
+        result = self._result()
+        doc = to_chrome_trace(result.activity,
+                              collectives=result.collectives,
+                              telemetry=result.telemetry)
+        validate_chrome_trace(doc)
+
+    def test_dump_includes_extras(self, tmp_path):
+        result = self._result()
+        path = tmp_path / "trace.json"
+        dump_chrome_trace(result.activity, path,
+                          collectives=result.collectives,
+                          telemetry=result.telemetry)
+        doc = json.loads(path.read_text())
+        validate_chrome_trace(doc)
+        assert any(e["ph"] == "C" for e in doc["traceEvents"])
+
+
+class TestValidator:
+    def test_missing_trace_events(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({})
+
+    def test_unknown_phase(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_chrome_trace({"traceEvents": [{"ph": "Q"}]})
+
+    def test_missing_field(self):
+        with pytest.raises(ValueError, match="missing"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "name": "a", "pid": 0}]})
+
+    def test_out_of_order_timestamps(self):
+        events = [
+            {"ph": "X", "name": "a", "pid": 0, "tid": 0, "ts": 5.0, "dur": 1.0},
+            {"ph": "X", "name": "b", "pid": 0, "tid": 0, "ts": 1.0, "dur": 1.0},
+        ]
+        with pytest.raises(ValueError, match="out of order"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_metadata_after_timed_events(self):
+        events = [
+            {"ph": "X", "name": "a", "pid": 0, "tid": 0, "ts": 1.0, "dur": 1.0},
+            {"ph": "M", "name": "process_name", "pid": 0, "args": {}},
+        ]
+        with pytest.raises(ValueError, match="metadata after"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_unmatched_flow(self):
+        events = [
+            {"ph": "s", "name": "dep", "pid": 0, "tid": 0, "ts": 1.0, "id": 1},
+        ]
+        with pytest.raises(ValueError, match="unmatched flow"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_negative_duration(self):
+        events = [
+            {"ph": "X", "name": "a", "pid": 0, "tid": 0, "ts": 1.0,
+             "dur": -2.0},
+        ]
+        with pytest.raises(ValueError, match="negative duration"):
+            validate_chrome_trace({"traceEvents": events})
 
 
 class TestEndToEndExport:

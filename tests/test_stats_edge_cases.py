@@ -1,0 +1,143 @@
+"""Edge-case tests for stats.breakdown and stats.timeline.
+
+Covers the corners the main suites skip: empty logs, zero-duration
+intervals, fully-overlapping activities of equal priority, and degenerate
+timeline widths.
+"""
+
+import pytest
+
+from repro.stats.breakdown import (
+    Activity,
+    ActivityLog,
+    Breakdown,
+    compute_breakdown,
+)
+from repro.stats.timeline import (
+    IDLE_GLYPH,
+    render_timeline,
+    utilization_by_npu,
+)
+
+
+class TestEmptyActivityLog:
+    def test_no_npus(self):
+        assert ActivityLog().npus() == []
+
+    def test_breakdown_is_all_idle(self):
+        breakdown = ActivityLog().breakdown(0, 1000.0)
+        assert breakdown.total_ns == 1000.0
+        assert breakdown.idle_ns == 1000.0
+        assert all(v == 0.0 for v in breakdown.exposed_ns.values())
+
+    def test_merged_breakdown_of_empty_log(self):
+        merged = ActivityLog().merged_breakdown(500.0)
+        assert merged.total_ns == 500.0
+        assert merged.idle_ns == 500.0
+
+    def test_timeline_renders_header_and_legend_only(self):
+        text = render_timeline(ActivityLog(), 1000.0, width=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("timeline:")
+        assert lines[-1].startswith("legend:")
+        assert len(lines) == 2  # no NPU rows
+
+    def test_utilization_of_empty_log(self):
+        assert utilization_by_npu(ActivityLog(), 1000.0) == {}
+
+    def test_merge_of_no_breakdowns(self):
+        merged = Breakdown.merge([])
+        assert merged.total_ns == 0.0
+        assert merged.idle_ns == 0.0
+        assert merged.fraction(Activity.COMPUTE) == 0.0
+
+
+class TestZeroDurationIntervals:
+    def test_record_skips_zero_duration(self):
+        log = ActivityLog()
+        log.record(0, 100.0, 100.0, Activity.COMPUTE)
+        assert log.npus() == []
+        assert log.intervals(0) == []
+
+    def test_record_rejects_negative_duration(self):
+        log = ActivityLog()
+        with pytest.raises(ValueError):
+            log.record(0, 100.0, 99.0, Activity.COMPUTE)
+
+    def test_zero_duration_interval_charges_nothing(self):
+        breakdown = compute_breakdown(
+            [(50.0, 50.0, Activity.COMM)], 100.0)
+        assert breakdown.exposed_comm_ns == 0.0
+        assert breakdown.idle_ns == 100.0
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            compute_breakdown([], -1.0)
+
+
+class TestFullyOverlappingEqualPriority:
+    def test_same_activity_counted_once(self):
+        """Two coincident COMM intervals expose the span once, not twice."""
+        breakdown = compute_breakdown(
+            [(0.0, 100.0, Activity.COMM), (0.0, 100.0, Activity.COMM)],
+            100.0)
+        assert breakdown.exposed_comm_ns == 100.0
+        assert breakdown.idle_ns == 0.0
+
+    def test_nested_same_activity(self):
+        breakdown = compute_breakdown(
+            [(0.0, 100.0, Activity.COMPUTE), (25.0, 75.0, Activity.COMPUTE)],
+            100.0)
+        assert breakdown.compute_ns == 100.0
+
+    def test_higher_priority_hides_equal_span(self):
+        breakdown = compute_breakdown(
+            [(0.0, 100.0, Activity.COMPUTE), (0.0, 100.0, Activity.COMM)],
+            100.0)
+        assert breakdown.compute_ns == 100.0
+        assert breakdown.exposed_comm_ns == 0.0
+
+    def test_timeline_priority_on_shared_slice(self):
+        log = ActivityLog()
+        log.record(0, 0.0, 100.0, Activity.COMM)
+        log.record(0, 0.0, 100.0, Activity.COMPUTE)
+        row = render_timeline(log, 100.0, width=4).splitlines()[1]
+        assert row == "npu 0 |####|"
+
+
+class TestTimelineDegenerateWidths:
+    def _log(self):
+        log = ActivityLog()
+        log.record(0, 0.0, 400.0, Activity.COMPUTE)
+        log.record(0, 400.0, 1000.0, Activity.COMM)
+        return log
+
+    def test_width_one(self):
+        """A single column shows the highest-priority activity overall."""
+        text = render_timeline(self._log(), 1000.0, width=1)
+        row = text.splitlines()[1]
+        assert row == "npu 0 |#|"
+
+    def test_width_zero_rejected(self):
+        with pytest.raises(ValueError):
+            render_timeline(self._log(), 1000.0, width=0)
+
+    def test_nonpositive_total_rejected(self):
+        with pytest.raises(ValueError):
+            render_timeline(self._log(), 0.0)
+        with pytest.raises(ValueError):
+            render_timeline(self._log(), -5.0)
+
+    def test_interval_past_horizon_clamps_to_last_column(self):
+        log = ActivityLog()
+        log.record(0, 900.0, 5000.0, Activity.COMM)
+        row = render_timeline(log, 1000.0, width=10).splitlines()[1]
+        cells = row.split("|")[1]
+        assert cells[-1] == "~"
+        assert cells[:-1] == IDLE_GLYPH * 9
+
+    def test_idle_everywhere_when_log_has_other_npu_only(self):
+        log = ActivityLog()
+        log.record(7, 0.0, 100.0, Activity.COMPUTE)
+        row = render_timeline(log, 100.0, width=5, npus=[3]).splitlines()[1]
+        assert row == f"npu 3 |{IDLE_GLYPH * 5}|"

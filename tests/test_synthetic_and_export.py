@@ -98,6 +98,30 @@ class TestResultExport:
         assert loaded["total_time_ns"] == pytest.approx(result.total_time_ns)
         json.loads(path.read_text())  # valid JSON on disk
 
+    def test_schema_version_and_members(self):
+        data = result_to_dict(self._result())
+        assert data["schema_version"] == 2
+        record = data["collectives"][0]
+        assert record["members"] == [0]
+
+    def test_telemetry_embedded_without_profile(self, tmp_path):
+        topo = parse_topology("Ring(4)_Switch(2)", [100, 50])
+        traces = repro.generate_single_collective(
+            topo, repro.CollectiveType.ALL_REDUCE, 1 << 20)
+        config = repro.SystemConfig(
+            topology=topo,
+            telemetry=repro.TelemetryConfig(
+                trace_level=repro.TraceLevel.COLLECTIVE))
+        result = repro.simulate(traces, config)
+        data = result_to_dict(result)
+        assert data["telemetry"]["schema_version"] == 1
+        assert "profile" not in data["telemetry"]
+        path = tmp_path / "result.json"
+        dump_result_json(result, path)
+        loaded = load_result_json(path)
+        assert loaded["schema_version"] == 2
+        assert loaded["telemetry"]["metrics"]
+
     def test_csv_has_one_row_per_collective(self):
         text = collectives_to_csv(self._result())
         lines = text.strip().splitlines()
