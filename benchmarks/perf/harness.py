@@ -9,12 +9,16 @@ Three benchmark families, all pure functions returning plain dicts:
   :meth:`~repro.events.EventEngine.schedule_many` fire-and-forget path
   vs the seed's one-by-one equivalent), and *chain* (self-scheduling
   callback chain, heap stays tiny).
-- :func:`bench_scaling` — end-to-end simulation cost on the paper's
-  Conv-4D system scaled from 512 NPUs up to 32K NPUs (Sec. IV-C's
-  "profiling systems of scale at speed"), plus an A/B of the same
-  scenario with the seed engine patched in.
+- :func:`bench_scaling` — end-to-end simulation cost of a data-parallel
+  GPT-3 step on the paper's Conv-4D system scaled from 512 NPUs up to
+  32K NPUs (Sec. IV-C's "profiling systems of scale at speed"), plus an
+  A/B of an event-bound scenario with the seed engine patched in.
 - :func:`bench_backend_speedup` — wall-clock gap between the analytical
   and Garnet-lite backends on the Sec. IV-C torus experiment.
+- :func:`bench_campaign` — the sweep/campaign engine
+  (:mod:`repro.campaign`): serial vs process-pool fan-out vs warm
+  content-addressed cache on a Conv-4D chunk-count design-space sweep,
+  with a bit-identical check across all execution modes.
 
 ``quick=True`` shrinks problem sizes so the whole suite runs in a few
 seconds — used by the CI smoke job; the committed ``BENCH_perf.json`` is
@@ -36,7 +40,11 @@ from repro.events._seed_reference import SeedEventEngine
 from repro.network import AnalyticalNetwork, GarnetLiteNetwork, parse_topology
 from repro.system import SendRecvCollectiveExecutor
 from repro.trace import CollectiveType
-from repro.workload import generate_single_collective
+from repro.workload import (
+    generate_data_parallel,
+    generate_single_collective,
+    gpt3_175b,
+)
 
 GiB = 1 << 30
 MiB = 1 << 20
@@ -149,9 +157,12 @@ def _conv4d_system(scale: int):
 
 
 def _run_scaling_scenario(scale: int) -> Dict[str, float]:
+    # Data-parallel GPT-3 (per-layer compute + gradient All-Reduce)
+    # rather than a lone collective: Themis' fluid-limit path resolves a
+    # single All-Reduce in ~2 engine events, which made the recorded
+    # "events" column meaningless as a cost metric.
     topology = _conv4d_system(scale)
-    traces = generate_single_collective(
-        topology, CollectiveType.ALL_REDUCE, 1 * GiB)
+    traces = generate_data_parallel(gpt3_175b(), topology)
     config = repro.SystemConfig(
         topology=topology, scheduler="themis", collective_chunks=32)
     start = time.perf_counter()
@@ -163,6 +174,7 @@ def _run_scaling_scenario(scale: int) -> Dict[str, float]:
         "simulated_ms": result.total_time_ms,
         "wall_s": round(wall, 4),
         "events": result.events_processed,
+        "nodes": result.nodes_executed,
     }
 
 
@@ -205,6 +217,79 @@ def bench_scaling(quick: bool = False, repeats: int = 3) -> Dict[str, object]:
     rows: List[Dict[str, float]] = [_run_scaling_scenario(s) for s in scales]
     ab = _ab_seed_engine(quick, repeats=2 if quick else repeats)
     return {"rows": rows, "seed_engine_ab": ab}
+
+
+# -- sweep campaigns --------------------------------------------------------------
+
+
+def _campaign_spec(quick: bool):
+    """Conv-4D chunk-count DSE: topology last dim x collective chunks."""
+    from repro.campaign import SweepSpec
+
+    last_dims = (4, 8) if quick else (4, 8, 12, 16)
+    chunk_counts = (16, 32) if quick else (8, 16, 32, 64)
+    return SweepSpec(
+        base={
+            "workload": "dp-gpt3",
+            "scheduler": "themis",
+            "bandwidths": "250,200,100,50",
+            "latencies": "50,250,250,500",
+        },
+        grid={
+            "topology": [f"Ring(2)_FC(8)_Ring(8)_Switch({d})"
+                         for d in last_dims],
+            "chunks": list(chunk_counts),
+        },
+    )
+
+
+def bench_campaign(quick: bool = False, jobs: int = 4) -> Dict[str, object]:
+    """Serial vs process-pool vs warm-cache cost of one campaign.
+
+    Runs the same sweep four ways — serial in-process, over a ``spawn``
+    pool, cold through the content-addressed cache, and again fully warm
+    — and checks the merged documents are bit-identical after canonical
+    serialisation.  ``cpus`` is recorded because the pool speedup is
+    meaningless on starved runners (a 1-core container cannot beat the
+    serial run; it still must match it bit-for-bit).
+    """
+    import os
+    import tempfile
+
+    from repro.campaign import CampaignRunner, canonical_campaign_json
+
+    spec = _campaign_spec(quick)
+    if quick:
+        jobs = min(jobs, 2)
+
+    def timed(runner) -> tuple:
+        start = time.perf_counter()
+        result = runner.run(spec)
+        return result, time.perf_counter() - start
+
+    serial, serial_wall = timed(CampaignRunner(jobs=0))
+    pooled, pooled_wall = timed(CampaignRunner(jobs=jobs))
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold, cold_wall = timed(CampaignRunner(jobs=0, cache_dir=cache_dir))
+        warm, warm_wall = timed(CampaignRunner(jobs=0, cache_dir=cache_dir))
+    docs = {canonical_campaign_json(r.to_dict())
+            for r in (serial, pooled, cold, warm)}
+    return {
+        "scenario": "Conv-4D dp-gpt3 chunk-count sweep "
+                    "(topology last dim x collective chunks)",
+        "points": len(spec),
+        "cpus": os.cpu_count(),
+        "jobs": jobs,
+        "errors": len(serial.errors),
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(pooled_wall, 4),
+        "parallel_speedup": round(serial_wall / max(pooled_wall, 1e-12), 2),
+        "cold_cache_wall_s": round(cold_wall, 4),
+        "warm_cache_wall_s": round(warm_wall, 4),
+        "warm_cache_speedup": round(cold_wall / max(warm_wall, 1e-12), 2),
+        "warm_cache_counters": warm.cache_counters,
+        "bit_identical": len(docs) == 1,
+    }
 
 
 # -- telemetry overhead -----------------------------------------------------------
@@ -326,4 +411,5 @@ def run_all(quick: bool = False) -> Dict[str, object]:
         "scaling": bench_scaling(quick=quick),
         "backend_speedup": bench_backend_speedup(quick=quick),
         "telemetry_overhead": bench_telemetry_overhead(quick=quick),
+        "campaign": bench_campaign(quick=quick),
     }

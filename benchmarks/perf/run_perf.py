@@ -50,6 +50,14 @@ def main(argv=None) -> int:
           f"({ab['end_to_end_speedup']}x)")
     print(f"  backend speedup: {results['backend_speedup']['wall_clock_speedup']}x "
           f"wall-clock (analytical vs garnet-lite)")
+    campaign = results["campaign"]
+    print(f"  campaign ({campaign['points']} points, {campaign['cpus']} cpus): "
+          f"serial {campaign['serial_wall_s']}s, "
+          f"jobs={campaign['jobs']} {campaign['parallel_wall_s']}s "
+          f"({campaign['parallel_speedup']}x), "
+          f"warm cache {campaign['warm_cache_wall_s']}s "
+          f"({campaign['warm_cache_speedup']}x), "
+          f"bit_identical={campaign['bit_identical']}")
     return 0
 
 

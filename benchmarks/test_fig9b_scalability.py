@@ -10,47 +10,65 @@ Transformer-1T end to end:
 Expected shape (the "equivalent trend" to Table IV in the end-to-end
 regime): scale-out leaves per-iteration time roughly flat, wafer scale-up
 cuts exposed communication — until the on-wafer dimension saturates.
+
+The 14-point sweep (2 models x 7 systems) runs through the campaign
+engine (:mod:`repro.campaign`): model and tensor-parallel degree are a
+zip axis, the system topologies a grid axis.  Set
+``REPRO_CAMPAIGN_JOBS`` to fan it out over a process pool.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-import repro
+from repro.campaign import CampaignRunner, SweepSpec, results_by_config
 from repro.configs import conv_4d_scaled, wafer_scaled
 from repro.stats import format_table
-from repro.workload import ParallelismSpec, generate_megatron_hybrid, gpt3_175b, transformer_1t
 
 from conftest import write_result
 
 MODELS = {
-    "GPT-3": (gpt3_175b, 16),
-    "Transformer-1T": (transformer_1t, 128),
+    "GPT-3": ("gpt3", 16),
+    "Transformer-1T": ("transformer1t", 128),
 }
 
 
-def _run(model_name: str, topology):
-    factory, mp = MODELS[model_name]
-    dp = topology.num_npus // mp
-    traces = generate_megatron_hybrid(
-        factory(), topology, ParallelismSpec(mp=mp, dp=dp))
-    config = repro.SystemConfig(
-        topology=topology, scheduler="themis", collective_chunks=32)
-    return repro.simulate(traces, config)
-
-
-def _sweep():
-    systems = {}
-    systems["Base-512"] = conv_4d_scaled(last_dim=4, dim1=2)
+def _systems():
+    systems = {"Base-512": conv_4d_scaled(last_dim=4, dim1=2)}
     for k in (8, 16, 32):
         systems[f"Conv-{128 * k}"] = conv_4d_scaled(last_dim=k, dim1=2)
     for k in (4, 8, 16):
         systems[f"W-{256 * k}"] = wafer_scaled(k)
-    results = {}
-    for model_name in MODELS:
-        for system_name, topology in systems.items():
-            results[(model_name, system_name)] = _run(model_name, topology)
-    return results
+    return systems
+
+
+def _sweep():
+    systems = _systems()
+    spec = SweepSpec(
+        base={
+            "bandwidths": "1000,200,100,50",
+            "latencies": "25,250,250,500",
+            "scheduler": "themis",
+            "chunks": 32,
+        },
+        grid={"topology": [t.notation() for t in systems.values()]},
+        zip_axes={
+            "workload": [w for w, _ in MODELS.values()],
+            "mp": [mp for _, mp in MODELS.values()],
+        },
+    )
+    jobs = int(os.environ.get("REPRO_CAMPAIGN_JOBS", "0"))
+    campaign = CampaignRunner(jobs=jobs).run(spec)
+    assert not campaign.errors, campaign.errors
+    by_config = results_by_config(campaign.to_dict(), "workload", "topology")
+    return {
+        (model_name, system_name):
+            by_config[(workload, topology.notation())]
+        for model_name, (workload, _) in MODELS.items()
+        for system_name, topology in systems.items()
+    }
 
 
 def test_fig9b_regenerate(benchmark, results_dir):
@@ -62,13 +80,13 @@ def test_fig9b_regenerate(benchmark, results_dir):
         for (m, system_name), r in results.items():
             if m != model_name:
                 continue
-            b = r.breakdown
+            b = r["breakdown"]
             rows.append([
                 system_name,
-                f"{r.total_time_ms:.1f}",
-                f"{b.compute_ns * 1e-6:.1f}",
-                f"{b.exposed_comm_ns * 1e-6:.1f}",
-                f"{r.total_time_ns / base.total_time_ns:.3f}",
+                f"{r['total_time_ns'] * 1e-6:.1f}",
+                f"{b['compute_ns'] * 1e-6:.1f}",
+                f"{b['comm_ns'] * 1e-6:.1f}",
+                f"{r['total_time_ns'] / base['total_time_ns']:.3f}",
             ])
         sections.append(
             f"[{model_name}] per-iteration time\n"
@@ -81,11 +99,11 @@ def test_fig9b_regenerate(benchmark, results_dir):
     write_result(results_dir, "fig9b_scalability.txt", "\n\n".join(sections))
 
     for model_name in MODELS:
-        base = results[(model_name, "Base-512")].total_time_ns
+        base = results[(model_name, "Base-512")]["total_time_ns"]
         # Scale-out: no improvement — flat for GPT-3, mildly degrading for
         # Transformer-1T whose large DP communicator rides the NIC dim.
         for k in (8, 16, 32):
-            t = results[(model_name, f"Conv-{128 * k}")].total_time_ns
+            t = results[(model_name, f"Conv-{128 * k}")]["total_time_ns"]
             assert base * 0.99 < t < base * 1.25, (model_name, k)
         # Wafer scale-up: strictly better than scale-out at every size,
         # with shrinking (or at least non-exploding) exposed comm.
@@ -94,10 +112,10 @@ def test_fig9b_regenerate(benchmark, results_dir):
             4: ("Conv-2048", "W-2048"),
             8: ("Conv-4096", "W-4096"),
         }.items():
-            conv = results[(model_name, conv_name)].total_time_ns
-            wafer = results[(model_name, wafer_name)].total_time_ns
+            conv = results[(model_name, conv_name)]["total_time_ns"]
+            wafer = results[(model_name, wafer_name)]["total_time_ns"]
             assert wafer < conv, (model_name, factor)
         # Wafer scale-up reduces exposed communication vs the base system.
-        base_comm = results[(model_name, "Base-512")].breakdown.exposed_comm_ns
-        w_comm = results[(model_name, "W-2048")].breakdown.exposed_comm_ns
+        base_comm = results[(model_name, "Base-512")]["breakdown"]["comm_ns"]
+        w_comm = results[(model_name, "W-2048")]["breakdown"]["comm_ns"]
         assert w_comm < base_comm, model_name

@@ -11,38 +11,59 @@ within 5% of the best time), and assert the paper's monotonicity: time
 never increases with more bandwidth, group bandwidth matters until the
 expert streams stop being the bottleneck, and fabric bandwidth matters
 until the fused gathers hide under compute.
+
+The 40-point surface runs through the campaign engine
+(:mod:`repro.campaign`): the base point reproduces
+:func:`repro.configs.table5.hiermem_custom` through the CLI field set,
+and the two bandwidth axes are a grid.  Set ``REPRO_CAMPAIGN_JOBS`` to
+fan the sweep out over a process pool — results are bit-identical to
+the serial run.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-import repro
-from repro.configs.table5 import hiermem_custom, moe_npu_network
+from repro.campaign import CampaignRunner, SweepSpec, results_by_config
+from repro.configs.table5 import TABLE5_HBM_GBPS, TABLE5_PEAK_TFLOPS
 from repro.stats import format_table
-from repro.workload import generate_moe, moe_1t
 
 from conftest import write_result
 
 FABRIC_SWEEP = [256, 512, 768, 1024, 1280, 1536, 1792, 2048]
 GROUP_SWEEP = [100, 200, 300, 400, 500]
 
-
-def _run_point(model, topology, fabric_bw, group_bw):
-    traces = generate_moe(
-        model, topology, remote_parameters=True, inswitch_collectives=True)
-    config = hiermem_custom(in_node_bw=fabric_bw, group_bw=group_bw)
-    return repro.simulate(traces, config).total_time_ms
+# The paper's MoE NPU network (configs.table5.moe_npu_network) and the
+# Table V system, spelled as campaign config fields.
+BASE_POINT = {
+    "topology": "Switch(16)_Switch(16)",
+    "bandwidths": "256,12.5",
+    "latencies": "250,1000",
+    "workload": "moe1t",
+    "scheduler": "themis",
+    "memory_model": "hiermem",
+    "inswitch": True,
+    "peak_tflops": TABLE5_PEAK_TFLOPS,
+    "hbm_gbps": TABLE5_HBM_GBPS,
+}
 
 
 def _sweep():
-    topology = moe_npu_network()
-    model = moe_1t()
-    surface = {}
-    for fabric in FABRIC_SWEEP:
-        for group in GROUP_SWEEP:
-            surface[(fabric, group)] = _run_point(model, topology, fabric, group)
-    return surface
+    spec = SweepSpec(
+        base=BASE_POINT,
+        grid={"fabric_bw_gbps": FABRIC_SWEEP, "group_bw_gbps": GROUP_SWEEP},
+    )
+    jobs = int(os.environ.get("REPRO_CAMPAIGN_JOBS", "0"))
+    campaign = CampaignRunner(jobs=jobs).run(spec)
+    assert not campaign.errors, campaign.errors
+    by_config = results_by_config(
+        campaign.to_dict(), "fabric_bw_gbps", "group_bw_gbps")
+    return {
+        (int(fabric), int(group)): result["total_time_ns"] * 1e-6
+        for (fabric, group), result in by_config.items()
+    }
 
 
 def test_tableV_sweep_regenerate(benchmark, results_dir):

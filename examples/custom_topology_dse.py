@@ -7,43 +7,69 @@ is one string away.  This script fixes a 1024-NPU budget and a total of
 — including a DragonFly-style FC stack and a 3-D torus — measuring a
 1 GB All-Reduce and a DLRM iteration on each.
 
-Run:  python examples/custom_topology_dse.py
+The 24-point sweep (6 shapes x 2 schedulers x 2 workloads) is one
+:class:`repro.campaign.SweepSpec`: the shape/bandwidth pairs are a zip
+axis, scheduler and workload a grid.  ``--jobs N`` fans it out over a
+process pool and ``--cache-dir`` re-uses previous runs — results are
+bit-identical either way.
+
+Run:  python examples/custom_topology_dse.py [--jobs N] [--cache-dir D]
 """
 
-import repro
-from repro.stats import format_table
-from repro.workload import dlrm_paper, generate_dlrm, generate_single_collective
+import argparse
 
-GiB = 1 << 30
+import repro
+from repro.campaign import CampaignRunner, SweepSpec, results_by_config
+from repro.stats import format_table
 
 # (notation, bandwidths GB/s) — every design spends the same 600 GB/s/NPU.
 CANDIDATES = [
-    ("Switch(1024)", [600]),
-    ("Switch(32)_Switch(32)", [400, 200]),
-    ("Ring(16)_FC(8)_Switch(8)", [300, 200, 100]),
-    ("FC(16)_FC(8)_FC(8)", [300, 200, 100]),           # DragonFly-style
-    ("Ring(8)_Ring(16)_Ring(8)", [300, 200, 100]),     # 3-D torus
-    ("Ring(4)_FC(8)_Ring(8)_Switch(4)", [250, 200, 100, 50]),
+    ("Switch(1024)", "600"),
+    ("Switch(32)_Switch(32)", "400,200"),
+    ("Ring(16)_FC(8)_Switch(8)", "300,200,100"),
+    ("FC(16)_FC(8)_FC(8)", "300,200,100"),             # DragonFly-style
+    ("Ring(8)_Ring(16)_Ring(8)", "300,200,100"),       # 3-D torus
+    ("Ring(4)_FC(8)_Ring(8)_Switch(4)", "250,200,100,50"),
 ]
 
 
 def main() -> None:
-    rows = []
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="process-pool workers (0 = serial in-process)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed run cache directory")
+    args = parser.parse_args()
+
     for notation, bws in CANDIDATES:
-        topology = repro.parse_topology(notation, bws)
+        topology = repro.parse_topology(
+            notation, [float(b) for b in bws.split(",")])
         assert topology.num_npus == 1024, notation
 
-        ar_traces = generate_single_collective(
-            topology, repro.CollectiveType.ALL_REDUCE, GiB)
-        dlrm_traces = generate_dlrm(dlrm_paper(), topology)
+    spec = SweepSpec(
+        base={"payload_mib": 1024, "chunks": 32},
+        zip_axes={
+            "topology": [notation for notation, _ in CANDIDATES],
+            "bandwidths": [bws for _, bws in CANDIDATES],
+        },
+        grid={
+            "scheduler": ["baseline", "themis"],
+            "workload": ["allreduce", "dlrm"],
+        },
+    )
+    runner = CampaignRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    campaign = runner.run(spec)
+    assert not campaign.errors, campaign.errors
 
+    by_config = results_by_config(
+        campaign.to_dict(), "topology", "scheduler", "workload")
+    rows = []
+    for notation, _ in CANDIDATES:
         row = [notation]
         for scheduler in ("baseline", "themis"):
-            config = repro.SystemConfig(
-                topology=topology, scheduler=scheduler, collective_chunks=32)
-            ar = repro.simulate(ar_traces, config).total_time_us
-            dlrm = repro.simulate(dlrm_traces, config).total_time_us
-            row.extend([f"{ar:.0f}", f"{dlrm:.0f}"])
+            for workload in ("allreduce", "dlrm"):
+                result = by_config[(notation, scheduler, workload)]
+                row.append(f"{result['total_time_ns'] * 1e-3:.0f}")
         rows.append(row)
 
     print("1024 NPUs, 600 GB/s per NPU in every design\n")
@@ -52,6 +78,10 @@ def main() -> None:
          "AR themis (us)", "DLRM themis (us)"],
         rows,
     ))
+    if args.cache_dir:
+        counters = campaign.cache_counters
+        print(f"\ncache: {counters['hits']} hits, "
+              f"{counters['misses']} misses")
     print(
         "\nTakeaways: with baseline scheduling the shape matters a lot "
         "(bandwidth stranded on idle dimensions); with Themis the designs "

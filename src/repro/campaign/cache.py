@@ -1,0 +1,124 @@
+"""Content-addressed on-disk cache of completed sweep points.
+
+A cache entry is keyed by ``sha256(canonical config JSON + code
+fingerprint)``:
+
+- the *canonical config JSON* (:func:`repro.campaign.spec.canonical_json`
+  of the fully-resolved point) changes whenever any field of the run
+  configuration changes, so two different configurations can never share
+  an entry;
+- the *code fingerprint* hashes the source of every module in the
+  ``repro`` package, so editing the simulator invalidates every cached
+  result without any manual versioning.
+
+Entries are one JSON file each under ``<dir>/<key[:2]>/<key>.json`` and
+are written atomically (tmp + rename).  A corrupted or mismatched entry
+is treated as a miss — the point is re-simulated and the entry
+overwritten — so a half-written or hand-edited cache can never poison a
+campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.campaign.spec import canonical_json
+
+CACHE_SCHEMA_VERSION = 1
+
+_fingerprint_cache: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file's contents (hex digest).
+
+    Computed once per process; deliberately content-based (not
+    mtime-based) so re-checkouts and touched-but-unchanged files keep
+    their cache warm while any real code change invalidates it.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _fingerprint_cache = digest.hexdigest()
+    return _fingerprint_cache
+
+
+class RunCache:
+    """Content-addressed store of ``result_to_dict``-style payloads."""
+
+    def __init__(self, cache_dir: Union[str, Path],
+                 fingerprint: Optional[str] = None) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.fingerprint = (code_fingerprint() if fingerprint is None
+                            else fingerprint)
+        self.hits = 0
+        self.misses = 0
+        self.corrupted = 0
+
+    def key(self, point: Mapping[str, Any]) -> str:
+        payload = canonical_json(dict(point)) + "\n" + self.fingerprint
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / (key + ".json")
+
+    def get(self, point: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+        """The cached result payload for ``point``, or None on a miss.
+
+        Counts the lookup: a readable, key-matching entry is a hit;
+        everything else (absent, unparsable, wrong key or schema) is a
+        miss, with corruption additionally tallied in ``corrupted``.
+        """
+        key = self.key(point)
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.corrupted += 1
+            self.misses += 1
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("schema_version") != CACHE_SCHEMA_VERSION
+                or entry.get("key") != key
+                or "result" not in entry):
+            self.corrupted += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(self, point: Mapping[str, Any], result: Dict[str, Any]) -> str:
+        """Store a result payload; returns the entry key."""
+        key = self.key(point)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "fingerprint": self.fingerprint,
+            "config": dict(point),
+            "result": result,
+        }
+        tmp = path.with_suffix(".tmp.%d" % os.getpid())
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)
+        return key
+
+    def counters(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupted": self.corrupted}

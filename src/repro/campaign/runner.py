@@ -1,0 +1,452 @@
+"""Parallel campaign execution: process-pool fan-out with spec-order merge.
+
+A :class:`CampaignRunner` takes a :class:`~repro.campaign.spec.SweepSpec`,
+expands it, and executes every point through an *executor* — by default
+:func:`run_point`, which replays the point through the real ``repro run``
+argument parser and :func:`repro.cli.simulate_from_args`, so a sweep
+point is exactly a CLI invocation.
+
+Execution contract:
+
+- ``jobs=0`` runs serially in-process; ``jobs>=1`` fans out over a
+  ``spawn`` :class:`~concurrent.futures.ProcessPoolExecutor`.  Results
+  are merged back **in spec order**, and each point's payload is a
+  schema-v2 ``result_to_dict`` document, so the merged output is
+  bit-identical regardless of worker count or completion order.
+- A failed point becomes a structured error record (exception type,
+  message, traceback, config) in the merged output instead of poisoning
+  the pool; ``fail_fast=True`` restores abort-on-first-error.
+- With a cache directory, results are looked up in (and written back
+  to) a content-addressed :class:`~repro.campaign.cache.RunCache` keyed
+  by canonical config JSON + code fingerprint; only cache misses are
+  simulated.  Hit/miss counters surface through a
+  :class:`repro.telemetry.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import traceback as _traceback
+from contextlib import redirect_stderr
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.campaign.cache import RunCache
+from repro.campaign.spec import SweepSpec, SweepSpecError, canonical_json
+from repro.telemetry import MetricsRegistry
+
+CAMPAIGN_SCHEMA_VERSION = 1
+
+
+class CampaignError(RuntimeError):
+    """A campaign aborted (fail-fast point failure or broken pool)."""
+
+
+class PointConfigError(ValueError):
+    """A sweep point does not form a valid run configuration."""
+
+
+# -- the default executor: one point == one `repro run` invocation ---------------------
+
+
+def _dims_csv(value: Any) -> str:
+    """Canonical comma-list form for bandwidths/latencies fields."""
+    if isinstance(value, (list, tuple)):
+        return ",".join(format(float(v), "g") for v in value)
+    if value in ("", None):
+        return ""
+    return ",".join(format(float(v), "g") for v in str(value).split(","))
+
+
+def _bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return bool(value)
+    text = str(value).strip().lower()
+    if text in ("1", "true", "yes", "on"):
+        return True
+    if text in ("0", "false", "no", "off", ""):
+        return False
+    raise ValueError(f"not a boolean: {value!r}")
+
+
+def _faults_list(value: Any) -> Optional[List[str]]:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return [value]
+    return [str(v) for v in value]
+
+
+def _opt_int(value: Any) -> Optional[int]:
+    return None if value is None else int(value)
+
+
+#: Sweepable fields of the default executor and their normalizers; the
+#: names mirror the ``repro run`` flags with dashes as underscores.
+FIELD_TYPES: Dict[str, Callable[[Any], Any]] = {
+    "topology": str,
+    "bandwidths": _dims_csv,
+    "latencies": _dims_csv,
+    "workload": str,
+    "payload_mib": float,
+    "scheduler": str,
+    "backend": str,
+    "chunks": int,
+    "mp": int,
+    "dp": int,
+    "pp": int,
+    "microbatches": int,
+    "peak_tflops": float,
+    "hbm_gbps": float,
+    "memory_model": str,
+    "fabric_bw_gbps": float,
+    "group_bw_gbps": float,
+    "remote_path_gbps": float,
+    "inswitch": _bool,
+    "faults": _faults_list,
+    "fault_seed": _opt_int,
+    "checkpoint_interval_ms": float,
+    "checkpoint_gib": float,
+    "trace_level": str,
+}
+
+_default_fields_cache: Optional[Dict[str, Any]] = None
+
+
+def default_fields() -> Dict[str, Any]:
+    """Default value of every sweepable field, from the real CLI parser.
+
+    Parsing a dummy ``run`` command keeps campaign defaults in lockstep
+    with the CLI's — a flag default changed in one place changes both.
+    """
+    global _default_fields_cache
+    if _default_fields_cache is None:
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "--topology", "Ring(2)", "--bandwidths", "1"])
+        fields = {name: getattr(args, name) for name in FIELD_TYPES}
+        fields["topology"] = ""
+        fields["bandwidths"] = ""
+        _default_fields_cache = fields
+    return dict(_default_fields_cache)
+
+
+def normalize_point(point: Mapping[str, Any]) -> Dict[str, Any]:
+    """A fully-resolved, canonically-typed config for one run.
+
+    Fills every field the default executor knows with the CLI default,
+    applies the field's type conversion (so ``"64"`` from a ``--grid``
+    axis and ``64`` from the Python API hash identically in the run
+    cache), and rejects unknown fields.
+    """
+    unknown = sorted(set(point) - set(FIELD_TYPES))
+    if unknown:
+        raise PointConfigError(
+            f"unknown sweep field(s) {unknown}; valid fields: "
+            + ", ".join(sorted(FIELD_TYPES)))
+    resolved = default_fields()
+    for name, value in point.items():
+        try:
+            resolved[name] = FIELD_TYPES[name](value)
+        except (TypeError, ValueError) as exc:
+            raise PointConfigError(
+                f"field {name!r}: cannot interpret {value!r} ({exc})")
+    if not resolved["topology"] or not resolved["bandwidths"]:
+        raise PointConfigError(
+            "every point needs 'topology' and 'bandwidths' (set them in "
+            "the base config or a sweep axis)")
+    return resolved
+
+
+def point_to_argv(point: Mapping[str, Any]) -> List[str]:
+    """The ``repro run`` argument vector equivalent to a resolved point."""
+    resolved = normalize_point(point)
+    argv: List[str] = []
+    for name, value in resolved.items():
+        flag = "--" + name.replace("_", "-")
+        if name == "inswitch":
+            if value:
+                argv.append(flag)
+        elif name == "faults":
+            for spec_text in value or ():
+                argv.extend([flag, spec_text])
+        elif name == "fault_seed":
+            if value is not None:
+                argv.extend([flag, str(value)])
+        elif name == "latencies":
+            if value:
+                argv.extend([flag, value])
+        else:
+            argv.extend([flag, str(value)])
+    return argv
+
+
+def run_point(point: Mapping[str, Any]) -> Dict[str, Any]:
+    """Default executor: simulate one point via the ``repro run`` path.
+
+    Returns the schema-v2 ``result_to_dict`` payload.  Runs in worker
+    processes, so everything it touches must be importable there.
+    """
+    from repro.cli import build_parser, simulate_from_args
+    from repro.stats.export import result_to_dict
+
+    argv = ["run"] + point_to_argv(point)
+    capture = StringIO()
+    try:
+        with redirect_stderr(capture):
+            args = build_parser().parse_args(argv)
+        _topology, result, _resilience = simulate_from_args(args)
+    except SystemExit as exc:
+        # argparse/validation failures surface as SystemExit; convert to a
+        # real exception so the error record carries the message.
+        message = str(exc) if str(exc) not in ("", "2") else ""
+        raise PointConfigError(
+            (message or capture.getvalue().strip() or "invalid run "
+             "configuration")) from None
+    return result_to_dict(result)
+
+
+run_point.normalize = normalize_point  # type: ignore[attr-defined]
+
+
+def base_point_from_args(args) -> Dict[str, Any]:
+    """The base config dict from a parsed ``sweep`` command namespace."""
+    base = {}
+    for name in FIELD_TYPES:
+        value = getattr(args, name)
+        if name in ("topology", "bandwidths", "latencies") and not value:
+            continue  # may come from a sweep axis; keep the base sparse
+        base[name] = value
+    return base
+
+
+# -- pool plumbing ---------------------------------------------------------------------
+
+
+def _error_record(exc: BaseException) -> Dict[str, Any]:
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(_traceback.format_exception(
+            type(exc), exc, exc.__traceback__)),
+    }
+
+
+def _pool_task(executor: Callable[[Mapping[str, Any]], Dict[str, Any]],
+               point: Mapping[str, Any]) -> Dict[str, Any]:
+    """Top-level worker entry point (must be picklable by reference)."""
+    try:
+        return {"ok": True, "result": executor(point)}
+    except (Exception, SystemExit) as exc:  # noqa: BLE001 - error record
+        return {"ok": False, "error": _error_record(exc)}
+
+
+def _resolve_executor(
+    executor: Union[None, str, Callable[[Mapping[str, Any]], Dict[str, Any]]],
+) -> Callable[[Mapping[str, Any]], Dict[str, Any]]:
+    if executor is None:
+        return run_point
+    if callable(executor):
+        return executor
+    module_name, sep, attr = str(executor).partition(":")
+    if not sep:
+        raise SweepSpecError(
+            f"executor {executor!r} is not of the form 'module:function'")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    fn = getattr(module, attr, None)
+    if not callable(fn):
+        raise SweepSpecError(
+            f"executor {executor!r} does not name a callable")
+    return fn
+
+
+# -- the runner ------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignResult:
+    """Merged outcome of one campaign, in spec order."""
+
+    spec: SweepSpec
+    points: List[Dict[str, Any]]
+    jobs: int
+    telemetry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    cache_counters: Optional[Dict[str, int]] = None
+
+    @property
+    def results(self) -> List[Optional[Dict[str, Any]]]:
+        """Per-point result payloads (None where the point failed)."""
+        return [p["result"] for p in self.points]
+
+    @property
+    def errors(self) -> List[Dict[str, Any]]:
+        return [p for p in self.points if p["error"] is not None]
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "schema_version": CAMPAIGN_SCHEMA_VERSION,
+            "spec": self.spec.to_dict(),
+            "points": [dict(p) for p in self.points],
+            "telemetry": {"metrics": self.telemetry.to_list()},
+        }
+        if self.cache_counters is not None:
+            doc["cache"] = dict(self.cache_counters)
+        return doc
+
+    def canonical_results_json(self) -> str:
+        """Canonical JSON of the simulation content only.
+
+        Strips everything that legitimately varies with cache state or
+        host (``cached`` flags, cache counters, tracebacks — worker and
+        in-process stacks differ), leaving exactly what must be
+        bit-identical across ``jobs`` counts and cache temperatures.
+        """
+        return canonical_campaign_json(self.to_dict())
+
+
+def canonical_campaign_json(doc: Mapping[str, Any]) -> str:
+    """Canonical JSON of a merged campaign document's simulation content.
+
+    See :meth:`CampaignResult.canonical_results_json`.
+    """
+    points = []
+    for point in doc["points"]:
+        error = point.get("error")
+        if error is not None:
+            error = {k: v for k, v in error.items() if k != "traceback"}
+        points.append({
+            "index": point["index"],
+            "config": point["config"],
+            "result": point.get("result"),
+            "error": error,
+        })
+    return canonical_json({"spec": doc["spec"], "points": points})
+
+
+class CampaignRunner:
+    """Executes a sweep spec over a worker pool and a run cache."""
+
+    def __init__(
+        self,
+        jobs: int = 0,
+        cache_dir: Optional[str] = None,
+        fail_fast: bool = False,
+        executor: Union[None, str,
+                        Callable[[Mapping[str, Any]], Dict[str, Any]]] = None,
+    ) -> None:
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        self.jobs = jobs
+        self.fail_fast = fail_fast
+        self.executor = _resolve_executor(executor)
+        self.cache = RunCache(cache_dir) if cache_dir else None
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, spec: SweepSpec) -> CampaignResult:
+        points = spec.expand()
+        normalize = getattr(self.executor, "normalize", None)
+        if normalize is not None:
+            points = [normalize(p) for p in points]
+        result = CampaignResult(spec=spec, points=[], jobs=self.jobs)
+        metrics = result.telemetry
+        metrics.counter("campaign", "points_total").inc(len(points))
+
+        merged: List[Optional[Dict[str, Any]]] = [None] * len(points)
+        pending: List[int] = []
+        for index, point in enumerate(points):
+            cached = self.cache.get(point) if self.cache is not None else None
+            if cached is not None:
+                merged[index] = {"index": index, "config": point,
+                                 "cached": True, "result": cached,
+                                 "error": None}
+            else:
+                pending.append(index)
+
+        if self.jobs == 0:
+            outcomes: Dict[int, Dict[str, Any]] = {}
+            for index in pending:
+                outcome = _pool_task(self.executor, points[index])
+                outcomes[index] = outcome
+                if self.fail_fast and not outcome["ok"]:
+                    self._abort(index, outcome["error"], points[index])
+        else:
+            outcomes = self._run_pool(points, pending)
+
+        for index in pending:
+            outcome = outcomes[index]
+            record: Dict[str, Any] = {
+                "index": index, "config": points[index], "cached": False,
+                "result": None, "error": None,
+            }
+            if outcome["ok"]:
+                record["result"] = outcome["result"]
+                if self.cache is not None:
+                    self.cache.put(points[index], outcome["result"])
+            else:
+                record["error"] = outcome["error"]
+                metrics.counter("campaign", "points_failed").inc()
+            merged[index] = record
+
+        metrics.counter("campaign", "points_executed").inc(len(pending))
+        if self.cache is not None:
+            counters = self.cache.counters()
+            result.cache_counters = counters
+            metrics.counter("campaign", "cache_hits").inc(counters["hits"])
+            metrics.counter("campaign", "cache_misses").inc(counters["misses"])
+            metrics.counter("campaign", "cache_corrupted").inc(
+                counters["corrupted"])
+        result.points = [record for record in merged if record is not None]
+        return result
+
+    def _abort(self, index: int, error: Mapping[str, Any],
+               point: Mapping[str, Any]) -> None:
+        raise CampaignError(
+            f"point {index} failed ({error['type']}: {error['message']}); "
+            f"config {canonical_json(dict(point))}")
+
+    def _run_pool(
+        self, points: Sequence[Mapping[str, Any]], pending: Sequence[int],
+    ) -> Dict[int, Dict[str, Any]]:
+        """Fan pending points out over a spawn pool; returns outcomes.
+
+        With ``fail_fast`` the first failed point cancels everything not
+        yet started and raises :class:`CampaignError`.
+        """
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        outcomes: Dict[int, Dict[str, Any]] = {}
+        if not pending:
+            return outcomes
+        context = multiprocessing.get_context("spawn")
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            futures = {
+                pool.submit(_pool_task, self.executor, points[index]): index
+                for index in pending
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                exc = future.exception()
+                if exc is not None:
+                    # The task wrapper catches simulation errors, so an
+                    # exception here means pool-level breakage (a worker
+                    # died, the payload would not pickle).  Record it so
+                    # one bad point cannot poison the campaign.
+                    outcomes[index] = {"ok": False,
+                                       "error": _error_record(exc)}
+                else:
+                    outcomes[index] = future.result()
+                if self.fail_fast and not outcomes[index]["ok"]:
+                    for other in futures:
+                        other.cancel()
+                    self._abort(index, outcomes[index]["error"],
+                                points[index])
+        return outcomes

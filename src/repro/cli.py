@@ -9,6 +9,10 @@ Usage::
     python -m repro.cli run --topology "Switch(512)" --bandwidths 600 \\
         --workload allreduce --payload-mib 1024
 
+    python -m repro.cli sweep --topology "Ring(8)_Switch(8)" \\
+        --bandwidths 100,25 --grid "payload_mib=64|256|1024" \\
+        --grid "scheduler=baseline|themis" --jobs 4 --out results.json
+
     python -m repro.cli trace-info path/to/trace.json
 
     python -m repro.cli topology-info "Ring(4)_Switch(8)" --bandwidths 100,25
@@ -18,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import repro
 from repro.stats import format_breakdown_table
@@ -30,14 +34,18 @@ from repro.workload import (
     generate_dlrm,
     generate_fsdp,
     generate_megatron_hybrid,
+    generate_moe,
     generate_pipeline_parallel,
     generate_single_collective,
     gpt3_175b,
+    moe_1t,
     transformer_1t,
 )
 
 WORKLOADS = ("allreduce", "alltoall", "gpt3", "transformer1t", "dlrm",
-             "fsdp-gpt3", "dp-gpt3", "pp-gpt3")
+             "fsdp-gpt3", "dp-gpt3", "pp-gpt3", "moe1t")
+
+MEMORY_MODELS = ("local", "hiermem", "zero-infinity")
 
 
 def _parse_floats(text: str) -> List[float]:
@@ -48,6 +56,10 @@ def _parse_floats(text: str) -> List[float]:
 
 
 def _build_topology(args: argparse.Namespace):
+    if not args.topology or not args.bandwidths:
+        raise SystemExit(
+            "error: --topology and --bandwidths are required (directly or "
+            "via a sweep axis)")
     latencies = _parse_floats(args.latencies) if args.latencies else ()
     bandwidths = _parse_floats(args.bandwidths)
     num_dims = len([s for s in args.topology.split("_") if s.strip()])
@@ -94,6 +106,11 @@ def _build_traces(args: argparse.Namespace, topology):
             topology, repro.CollectiveType.ALL_TO_ALL, payload)
     if args.workload == "dlrm":
         return generate_dlrm(dlrm_paper(), topology)
+    if args.workload == "moe1t":
+        return generate_moe(
+            moe_1t(), topology,
+            remote_parameters=args.memory_model != "local",
+            inswitch_collectives=args.inswitch)
     model = transformer_1t() if args.workload == "transformer1t" else gpt3_175b()
     if args.workload in ("gpt3", "transformer1t"):
         mp = args.mp or 16
@@ -112,6 +129,50 @@ def _build_traces(args: argparse.Namespace, topology):
             gpt3_175b(), topology, ParallelismSpec(mp=mp, pp=pp, dp=dp),
             microbatches=args.microbatches)
     raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def _memory_models(args: argparse.Namespace, topology):
+    """Local / remote / fabric memory models from the CLI flags.
+
+    ``hiermem`` derives the pool geometry from the topology the way
+    Table V does: dim 0 is the in-node switch (GPUs per node), one
+    out-node switch per node, one remote memory group per GPU.
+    """
+    from repro.memory.local import LocalMemory
+
+    local = LocalMemory(bandwidth_gbps=args.hbm_gbps)
+    if args.inswitch and args.memory_model != "hiermem":
+        raise SystemExit(
+            "error: --inswitch requires --memory-model hiermem (in-switch "
+            "collectives run inside the pooled fabric)")
+    if args.memory_model == "local":
+        return local, None, None
+    if args.memory_model == "zero-infinity":
+        from repro.memory.zero_infinity import (
+            ZeroInfinityConfig,
+            ZeroInfinityMemory,
+        )
+
+        remote = ZeroInfinityMemory(ZeroInfinityConfig(
+            path_bandwidth_gbps=args.remote_path_gbps,
+            num_gpus=topology.num_npus,
+        ))
+        return local, remote, None
+    from repro.memory.inswitch import InSwitchCollectiveMemory
+    from repro.memory.remote import HierMemConfig, HierarchicalRemoteMemory
+
+    gpus_per_node = topology.dims[0].size
+    num_nodes = topology.num_npus // gpus_per_node
+    pool = HierMemConfig(
+        num_nodes=num_nodes,
+        gpus_per_node=gpus_per_node,
+        num_out_switches=num_nodes,
+        num_remote_groups=topology.num_npus,
+        mem_side_bw_gbps=args.group_bw_gbps,
+        gpu_side_out_bw_gbps=args.fabric_bw_gbps,
+        in_node_bw_gbps=args.fabric_bw_gbps,
+    )
+    return local, HierarchicalRemoteMemory(pool), InSwitchCollectiveMemory(pool)
 
 
 def _checkpoint_config(args: argparse.Namespace, topology):
@@ -178,14 +239,21 @@ def _telemetry_config(args: argparse.Namespace):
         raise SystemExit(
             "error: --trace-level packet requires --backend garnet or flow "
             "(the analytical backend does not model individual packets)")
-    if level is TraceLevel.OFF and not args.metrics_out:
+    if level is TraceLevel.OFF and not getattr(args, "metrics_out", ""):
         return None
     return TelemetryConfig(trace_level=level)
 
 
-def run_from_args(args: argparse.Namespace) -> int:
+def simulate_from_args(args: argparse.Namespace) -> Tuple[object, object, object]:
+    """Build and run one simulation from parsed ``run`` flags.
+
+    The shared execution path of the ``run`` subcommand and every
+    campaign worker (:mod:`repro.campaign.runner`): identical flag
+    semantics, no printing.  Returns ``(topology, result, resilience)``.
+    """
     topology = _build_topology(args)
     traces = _build_traces(args, topology)
+    local_memory, remote_memory, fabric = _memory_models(args, topology)
     config = repro.SystemConfig(
         topology=topology,
         scheduler=args.scheduler,
@@ -195,6 +263,9 @@ def run_from_args(args: argparse.Namespace) -> int:
             peak_tflops=args.peak_tflops,
             mem_bandwidth_gbps=args.hbm_gbps,
         ),
+        local_memory=local_memory,
+        remote_memory=remote_memory,
+        fabric_collectives=fabric,
         telemetry=_telemetry_config(args),
     )
     resilience = None
@@ -221,6 +292,11 @@ def run_from_args(args: argparse.Namespace) -> int:
             resilience = result.resilience
     else:
         result = repro.simulate(traces, config)
+    return topology, result, resilience
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    topology, result, resilience = simulate_from_args(args)
     print(f"topology : {topology.notation()}  ({topology.num_npus} NPUs)")
     print(f"workload : {args.workload}  scheduler: {args.scheduler}  "
           f"chunks: {args.chunks}")
@@ -270,6 +346,66 @@ def run_from_args(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignError,
+        CampaignRunner,
+        SweepSpec,
+        SweepSpecError,
+        base_point_from_args,
+        campaign_summary,
+        campaign_to_csv,
+        campaign_table,
+        dump_campaign_json,
+    )
+
+    try:
+        spec = SweepSpec.from_cli(base_point_from_args(args),
+                                  args.grid or (), args.zip or ())
+    except SweepSpecError as exc:
+        raise SystemExit(f"error: {exc}")
+    if not args.grid and not args.zip:
+        raise SystemExit(
+            "error: a sweep needs at least one --grid or --zip axis "
+            "(use the run subcommand for a single point)")
+    runner = CampaignRunner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir or None,
+        fail_fast=args.fail_fast,
+    )
+    try:
+        campaign = runner.run(spec)
+    except (SweepSpecError, CampaignError) as exc:
+        raise SystemExit(f"error: {exc}")
+    doc = campaign.to_dict()
+    print(f"sweep    : {len(campaign.points)} points, jobs={args.jobs}")
+    print(campaign_table(doc))
+    summary = campaign_summary(doc)
+    stats = summary["total_time_ms"]
+    if stats["count"]:
+        print(f"\ntotal_time_ms: min {stats['min']:.3f}  "
+              f"median {stats['median']:.3f}  mean {stats['mean']:.3f}  "
+              f"max {stats['max']:.3f}")
+    if summary["errors"]:
+        print(f"errors   : {summary['errors']} of {len(campaign.points)} "
+              "points failed (see the merged output for tracebacks)")
+    if campaign.cache_counters is not None:
+        counters = campaign.cache_counters
+        print(f"cache    : {counters['hits']} hits, "
+              f"{counters['misses']} misses"
+              + (f", {counters['corrupted']} corrupted entries recovered"
+                 if counters["corrupted"] else ""))
+    if args.out:
+        dump_campaign_json(doc, args.out)
+        print(f"\nmerged results written to {args.out}")
+    if args.csv_out:
+        from pathlib import Path
+
+        Path(args.csv_out).write_text(campaign_to_csv(doc))
+        print(f"CSV table written to {args.csv_out}")
+    return 1 if summary["errors"] else 0
+
+
 def _cmd_trace_info(args: argparse.Namespace) -> int:
     trace = repro.load_trace(args.path)
     print(summarize(trace).format())
@@ -289,48 +425,86 @@ def _cmd_topology_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_run_flags(parser: argparse.ArgumentParser, required: bool = True) -> None:
+    """The simulation-configuration flags shared by ``run`` and ``sweep``.
+
+    With ``required=False`` (the sweep subcommand) --topology and
+    --bandwidths may instead come from a sweep axis; the per-point
+    validation still insists they resolve somewhere.
+    """
+    parser.add_argument("--topology", required=required, default="",
+                        help='shape notation, e.g. "Ring(4)_Switch(8)"')
+    parser.add_argument("--bandwidths", required=required, default="",
+                        help="per-dim GB/s, comma separated")
+    parser.add_argument("--latencies", default="",
+                        help="per-dim ns/hop, comma separated (default 500)")
+    parser.add_argument("--workload", choices=WORKLOADS, default="allreduce")
+    parser.add_argument("--payload-mib", type=float, default=1024.0,
+                        help="collective payload for allreduce/alltoall")
+    parser.add_argument("--scheduler", choices=("baseline", "themis"),
+                        default="themis")
+    parser.add_argument("--backend", choices=("analytical", "garnet", "flow"),
+                        default="analytical",
+                        help="network backend (detailed backends are p2p-only)")
+    parser.add_argument("--chunks", type=int, default=16)
+    parser.add_argument("--mp", type=int, default=0)
+    parser.add_argument("--dp", type=int, default=0)
+    parser.add_argument("--pp", type=int, default=0)
+    parser.add_argument("--microbatches", type=int, default=4)
+    parser.add_argument("--peak-tflops", type=float, default=234.0)
+    parser.add_argument("--hbm-gbps", type=float, default=2039.0,
+                        help="local HBM bandwidth (roofline + local memory "
+                             "model)")
+    parser.add_argument("--memory-model", choices=MEMORY_MODELS,
+                        default="local",
+                        help="remote-memory organisation: hiermem pools "
+                             "groups behind switches (Table V), "
+                             "zero-infinity gives each GPU a private slow "
+                             "path")
+    parser.add_argument("--fabric-bw-gbps", type=float, default=256.0,
+                        help="hiermem in-node pooled fabric bandwidth "
+                             "(Table V row 3)")
+    parser.add_argument("--group-bw-gbps", type=float, default=100.0,
+                        help="hiermem remote memory group bandwidth "
+                             "(Table V row 6)")
+    parser.add_argument("--remote-path-gbps", type=float, default=100.0,
+                        help="zero-infinity per-GPU slow-path bandwidth")
+    parser.add_argument("--inswitch", action="store_true",
+                        help="fuse collectives into the pooled memory "
+                             "fabric (moe1t workload; requires "
+                             "--memory-model hiermem)")
+    parser.add_argument("--faults", action="append", metavar="SPEC",
+                        help="inject faults, e.g. 'straggler@npu3:1.5x@t=2ms' "
+                             "(repeatable; ';' separates specs; see "
+                             "repro.faults for the grammar)")
+    parser.add_argument("--fault-seed", type=int, default=None, metavar="SEED",
+                        help="also draw a seeded random fault schedule over "
+                             "the run's fault-free duration (deterministic "
+                             "per seed)")
+    parser.add_argument("--checkpoint-interval-ms", type=float, default=0.0,
+                        help="checkpoint period for the resilience report's "
+                             "restart/replay accounting (0 = no checkpoints)")
+    parser.add_argument("--checkpoint-gib", type=float, default=16.0,
+                        help="per-NPU snapshot size for non-transformer "
+                             "workloads (transformer workloads derive it from "
+                             "the model-state footprint)")
+    parser.add_argument("--trace-level",
+                        choices=("off", "phase", "collective", "chunk",
+                                 "packet"),
+                        default="off",
+                        help="span recording depth for --chrome-trace / "
+                             "--metrics-out (deeper levels record more "
+                             "spans; 'packet' needs a packet-modeling "
+                             "backend)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ASTRA-sim 2.0 reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="simulate a workload on a topology")
-    run.add_argument("--topology", required=True,
-                     help='shape notation, e.g. "Ring(4)_Switch(8)"')
-    run.add_argument("--bandwidths", required=True,
-                     help="per-dim GB/s, comma separated")
-    run.add_argument("--latencies", default="",
-                     help="per-dim ns/hop, comma separated (default 500)")
-    run.add_argument("--workload", choices=WORKLOADS, default="allreduce")
-    run.add_argument("--payload-mib", type=float, default=1024.0,
-                     help="collective payload for allreduce/alltoall")
-    run.add_argument("--scheduler", choices=("baseline", "themis"),
-                     default="themis")
-    run.add_argument("--backend", choices=("analytical", "garnet", "flow"),
-                     default="analytical",
-                     help="network backend (detailed backends are p2p-only)")
-    run.add_argument("--chunks", type=int, default=16)
-    run.add_argument("--mp", type=int, default=0)
-    run.add_argument("--dp", type=int, default=0)
-    run.add_argument("--pp", type=int, default=0)
-    run.add_argument("--microbatches", type=int, default=4)
-    run.add_argument("--peak-tflops", type=float, default=234.0)
-    run.add_argument("--hbm-gbps", type=float, default=2039.0)
-    run.add_argument("--faults", action="append", metavar="SPEC",
-                     help="inject faults, e.g. 'straggler@npu3:1.5x@t=2ms' "
-                          "(repeatable; ';' separates specs; see "
-                          "repro.faults for the grammar)")
-    run.add_argument("--fault-seed", type=int, default=None, metavar="SEED",
-                     help="also draw a seeded random fault schedule over "
-                          "the run's fault-free duration (deterministic "
-                          "per seed)")
-    run.add_argument("--checkpoint-interval-ms", type=float, default=0.0,
-                     help="checkpoint period for the resilience report's "
-                          "restart/replay accounting (0 = no checkpoints)")
-    run.add_argument("--checkpoint-gib", type=float, default=16.0,
-                     help="per-NPU snapshot size for non-transformer "
-                          "workloads (transformer workloads derive it from "
-                          "the model-state footprint)")
+    _add_run_flags(run, required=True)
     run.add_argument("--collectives", type=int, default=0,
                      help="print the first N collective records")
     run.add_argument("--json-out", default="",
@@ -345,13 +519,34 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics-out", default="", metavar="PATH",
                      help="dump the telemetry metrics registry to a "
                           "metrics.json file (enables telemetry)")
-    run.add_argument("--trace-level",
-                     choices=("off", "phase", "collective", "chunk", "packet"),
-                     default="off",
-                     help="span recording depth for --chrome-trace / "
-                          "--metrics-out (deeper levels record more spans; "
-                          "'packet' needs a packet-modeling backend)")
     run.set_defaults(func=run_from_args)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a sweep campaign over run-flag axes, optionally in "
+             "parallel and through the run cache")
+    _add_run_flags(sweep, required=False)
+    sweep.add_argument("--grid", action="append", metavar="FIELD=V1|V2|...",
+                       help="cartesian-product axis over a run flag "
+                            "(repeatable; the last axis varies fastest)")
+    sweep.add_argument("--zip", action="append", metavar="FIELD=V1|V2|...",
+                       help="linked axis: equal-length value lists that "
+                            "vary together (e.g. topology with its "
+                            "bandwidths)")
+    sweep.add_argument("--jobs", type=int, default=0, metavar="N",
+                       help="worker processes (0 = serial in-process; "
+                            "results are bit-identical either way)")
+    sweep.add_argument("--cache-dir", default="", metavar="DIR",
+                       help="content-addressed run cache: re-running a "
+                            "sweep only simulates changed points")
+    sweep.add_argument("--fail-fast", action="store_true",
+                       help="abort the campaign on the first failed point "
+                            "instead of recording a structured error")
+    sweep.add_argument("--out", default="", metavar="PATH",
+                       help="write the merged campaign JSON document")
+    sweep.add_argument("--csv-out", default="", metavar="PATH",
+                       help="write the per-point aggregate table as CSV")
+    sweep.set_defaults(func=_cmd_sweep)
 
     info = sub.add_parser("trace-info", help="summarize an ET JSON file")
     info.add_argument("path")

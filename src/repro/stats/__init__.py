@@ -28,6 +28,7 @@ from repro.stats.export import (
     load_result_json,
     result_to_dict,
 )
+from repro.stats.summary import summary_stats
 
 __all__ = [
     "RESULT_SCHEMA_VERSION",
@@ -45,6 +46,7 @@ __all__ = [
     "format_breakdown_table",
     "format_table",
     "render_timeline",
+    "summary_stats",
     "to_chrome_trace",
     "utilization_by_npu",
     "validate_chrome_trace",

@@ -1,0 +1,41 @@
+"""Summary statistics over a sample of scalar observations.
+
+The small numeric core behind campaign aggregation
+(:mod:`repro.campaign.aggregate`): given the per-point totals of a
+sweep, report the usual location/spread statistics in a JSON-ready
+dict.  Pure python (no numpy) so it works in stripped-down worker
+environments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable
+
+
+def summary_stats(values: Iterable[float]) -> Dict[str, Any]:
+    """count/min/max/mean/median/stdev of a scalar sample.
+
+    The empty sample yields ``count=0`` with every other statistic
+    ``None``; a single observation has ``stdev=0.0``.  Median uses the
+    midpoint-of-two-central-values convention.
+    """
+    sample = sorted(float(v) for v in values)
+    n = len(sample)
+    if n == 0:
+        return {"count": 0, "min": None, "max": None, "mean": None,
+                "median": None, "stdev": None}
+    mean = math.fsum(sample) / n
+    if n % 2:
+        median = sample[n // 2]
+    else:
+        median = (sample[n // 2 - 1] + sample[n // 2]) / 2.0
+    variance = math.fsum((v - mean) ** 2 for v in sample) / n
+    return {
+        "count": n,
+        "min": sample[0],
+        "max": sample[-1],
+        "mean": mean,
+        "median": median,
+        "stdev": math.sqrt(variance),
+    }

@@ -1,0 +1,42 @@
+"""Property: campaign results are byte-identical across worker counts.
+
+The campaign runner's core contract (and what makes the run cache
+sound): the merged document depends only on the spec — not on how many
+processes executed it, not on completion order, not on cache
+temperature.  We run the same sweep serially (``jobs=0``), with one
+worker, and with four workers, and compare the canonical JSON
+byte-for-byte — including a telemetry-bearing point, whose per-run
+metrics are embedded in the result payloads.
+"""
+
+from repro.campaign import CampaignRunner, SweepSpec
+
+# Small enough to keep three executions (one per jobs count) cheap, but
+# covering both schedulers and a telemetry-embedding trace level.
+SPEC = SweepSpec(
+    base={
+        "topology": "Ring(4)", "bandwidths": "100",
+        "workload": "allreduce", "trace_level": "collective",
+    },
+    grid={
+        "payload_mib": [1, 2],
+        "scheduler": ["baseline", "themis"],
+    },
+)
+
+
+def test_results_identical_across_jobs_counts(tmp_path):
+    docs = {}
+    for jobs in (0, 1, 4):
+        campaign = CampaignRunner(jobs=jobs).run(SPEC)
+        assert not campaign.errors, campaign.errors
+        docs[jobs] = campaign.canonical_results_json()
+        # every payload carries the embedded telemetry block
+        assert all("telemetry" in r for r in campaign.results)
+    assert docs[0] == docs[1] == docs[4]
+
+    # and a warm cache replays the same bytes without executing anything
+    CampaignRunner(jobs=0, cache_dir=tmp_path).run(SPEC)
+    warm = CampaignRunner(jobs=0, cache_dir=tmp_path).run(SPEC)
+    assert warm.cache_counters["hits"] == len(SPEC)
+    assert warm.canonical_results_json() == docs[0]

@@ -1,0 +1,97 @@
+"""Unit tests for the content-addressed run cache."""
+
+import json
+
+from repro.campaign import CACHE_SCHEMA_VERSION, RunCache, code_fingerprint
+
+POINT = {"topology": "Ring(4)", "bandwidths": "100", "payload_mib": 1.0}
+RESULT = {"total_time_ns": 123.0, "events_processed": 7}
+
+
+class TestHitMiss:
+    def test_roundtrip_hit(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert cache.get(POINT) is None
+        cache.put(POINT, RESULT)
+        assert cache.get(POINT) == RESULT
+        assert cache.counters() == {"hits": 1, "misses": 1, "corrupted": 0}
+
+    def test_key_is_stable_and_key_order_independent(self, tmp_path):
+        cache = RunCache(tmp_path)
+        reordered = dict(reversed(list(POINT.items())))
+        assert cache.key(POINT) == cache.key(reordered)
+
+    def test_any_config_field_change_is_a_different_entry(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put(POINT, RESULT)
+        changed = dict(POINT, payload_mib=2.0)
+        assert cache.key(changed) != cache.key(POINT)
+        assert cache.get(changed) is None
+        assert cache.get(POINT) == RESULT
+
+    def test_entries_shard_by_key_prefix(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = cache.put(POINT, RESULT)
+        assert (tmp_path / key[:2] / (key + ".json")).exists()
+
+
+class TestInvalidation:
+    def test_code_fingerprint_change_invalidates(self, tmp_path):
+        old = RunCache(tmp_path, fingerprint="aaaa")
+        old.put(POINT, RESULT)
+        new = RunCache(tmp_path, fingerprint="bbbb")
+        assert new.get(POINT) is None
+        # the stale entry is untouched; the same fingerprint still hits
+        assert RunCache(tmp_path, fingerprint="aaaa").get(POINT) == RESULT
+
+    def test_default_fingerprint_is_the_package_hash(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert cache.fingerprint == code_fingerprint()
+        assert len(cache.fingerprint) == 64
+
+    def test_resimulated_point_overwrites_entry(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put(POINT, RESULT)
+        cache.put(POINT, {"total_time_ns": 456.0})
+        assert cache.get(POINT) == {"total_time_ns": 456.0}
+
+
+class TestCorruption:
+    def _entry_path(self, cache):
+        return cache._path(cache.key(POINT))
+
+    def test_unparsable_entry_is_a_counted_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put(POINT, RESULT)
+        self._entry_path(cache).write_text("{not json")
+        assert cache.get(POINT) is None
+        assert cache.counters() == {"hits": 0, "misses": 1, "corrupted": 1}
+
+    def test_wrong_schema_version_is_corrupted(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put(POINT, RESULT)
+        path = self._entry_path(cache)
+        entry = json.loads(path.read_text())
+        entry["schema_version"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert cache.get(POINT) is None
+        assert cache.corrupted == 1
+
+    def test_key_mismatch_is_corrupted(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put(POINT, RESULT)
+        path = self._entry_path(cache)
+        entry = json.loads(path.read_text())
+        entry["key"] = "0" * 64
+        path.write_text(json.dumps(entry))
+        assert cache.get(POINT) is None
+        assert cache.corrupted == 1
+
+    def test_corrupted_entry_recovers_after_rewrite(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put(POINT, RESULT)
+        self._entry_path(cache).write_text("")
+        assert cache.get(POINT) is None
+        cache.put(POINT, RESULT)
+        assert cache.get(POINT) == RESULT
+        assert cache.counters() == {"hits": 1, "misses": 1, "corrupted": 1}

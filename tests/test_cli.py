@@ -256,3 +256,70 @@ class TestFaultFlags:
                   "--mp", "1", "--backend", "flow",
                   "--faults", "straggler@npu1:2x@t=0"])
         assert "analytical" in str(exc_info.value)
+
+
+class TestSweep:
+    ARGV = ["sweep", "--topology", "Ring(4)_Switch(2)",
+            "--bandwidths", "100,50", "--workload", "allreduce",
+            "--grid", "payload-mib=1|4", "--grid", "scheduler=baseline|themis"]
+
+    def test_four_point_grid_end_to_end(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        csv_path = tmp_path / "results.csv"
+        code = main(self.ARGV + ["--out", str(out_path),
+                                 "--csv-out", str(csv_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 points" in out
+        assert "payload_mib" in out and "scheduler" in out
+
+        doc = json.loads(out_path.read_text())
+        assert len(doc["points"]) == 4
+        assert doc["summary"]["errors"] == 0
+        assert doc["summary"]["total_time_ms"]["count"] == 4
+        configs = [(p["config"]["payload_mib"], p["config"]["scheduler"])
+                   for p in doc["points"]]
+        assert configs == [(1.0, "baseline"), (1.0, "themis"),
+                           (4.0, "baseline"), (4.0, "themis")]
+        assert all(p["result"]["total_time_ns"] > 0 for p in doc["points"])
+
+        csv_lines = csv_path.read_text().strip().splitlines()
+        assert csv_lines[0] == "payload_mib,scheduler,total_time_ms,nodes,events,status"
+        assert len(csv_lines) == 5
+
+    def test_cache_counters_reported(self, tmp_path, capsys):
+        argv = self.ARGV + ["--cache-dir", str(tmp_path / "cache")]
+        assert main(list(argv)) == 0
+        cold = capsys.readouterr().out
+        assert "0 hits, 4 misses" in cold
+        assert main(list(argv)) == 0
+        warm = capsys.readouterr().out
+        assert "4 hits, 0 misses" in warm
+        assert "cached" in warm
+
+    def test_requires_at_least_one_axis(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["sweep", "--topology", "Ring(4)", "--bandwidths", "100"])
+        assert "axis" in str(exc_info.value)
+
+    def test_bad_point_reports_error_and_exit_code(self, capsys):
+        code = main(["sweep", "--topology", "Ring(4)", "--bandwidths", "100",
+                     "--grid", "scheduler=baseline|nope"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "error:PointConfigError" in out
+
+    def test_fail_fast_aborts(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["sweep", "--topology", "Ring(4)", "--bandwidths", "100",
+                  "--grid", "scheduler=nope|baseline", "--fail-fast"])
+        assert "failed" in str(exc_info.value)
+
+    def test_jobs_flag_matches_serial_output(self, tmp_path, capsys):
+        serial_path = tmp_path / "serial.json"
+        pooled_path = tmp_path / "pooled.json"
+        assert main(self.ARGV + ["--out", str(serial_path)]) == 0
+        assert main(self.ARGV + ["--jobs", "2",
+                                 "--out", str(pooled_path)]) == 0
+        capsys.readouterr()
+        assert serial_path.read_text() == pooled_path.read_text()
