@@ -353,6 +353,66 @@ def bench_telemetry_overhead(quick: bool = False,
     }
 
 
+# -- invariant-checker overhead ---------------------------------------------------
+
+
+def _invariant_scenario(invariants, payload: int, count: int) -> float:
+    """Same 64-NPU All-Reduce burst as the telemetry bench."""
+    topology = repro.parse_topology("Ring(8)_Switch(8)", [100, 25])
+    traces = generate_single_collective(
+        topology, CollectiveType.ALL_REDUCE, payload, count=count)
+    config = repro.SystemConfig(
+        topology=topology, scheduler="baseline", collective_chunks=32,
+        invariants=invariants)
+    return repro.simulate(traces, config).total_time_ns
+
+
+def bench_invariant_overhead(quick: bool = False,
+                             repeats: int = 9) -> Dict[str, object]:
+    """Cost of the *enabled* runtime invariant checker.
+
+    Unlike the telemetry bench (which measures an installed-but-idle
+    collector), the checker has no idle mode: enabled means every hook
+    actively validates.  Disabled (``invariants=None``) is the exact
+    un-instrumented code path, so the interesting numbers are the
+    enabled-run wall-clock overhead and whether checking perturbs
+    simulated time (it must not — the checker only observes).
+    """
+    from repro.validate import InvariantConfig
+
+    payload = 16 * MiB if quick else 64 * MiB
+    count = 16 if quick else 32
+    checked = InvariantConfig()
+
+    base_total = _invariant_scenario(None, payload, count)
+    checked_total = _invariant_scenario(checked, payload, count)
+
+    base_best = checked_best = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            gc.collect()
+            start = time.perf_counter()
+            _invariant_scenario(None, payload, count)
+            base_best = min(base_best, time.perf_counter() - start)
+            start = time.perf_counter()
+            _invariant_scenario(checked, payload, count)
+            checked_best = min(checked_best, time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    overhead = checked_best / max(base_best, 1e-12) - 1.0
+    return {
+        "scenario": "64-NPU Ring(8)_Switch(8) All-Reduce x%d, 32 chunks" % count,
+        "payload_bytes": payload,
+        "bit_identical": base_total == checked_total,
+        "base_wall_s": round(base_best, 4),
+        "checked_wall_s": round(checked_best, 4),
+        "overhead": round(overhead, 4),
+    }
+
+
 # -- backend speedup --------------------------------------------------------------
 
 
@@ -411,5 +471,6 @@ def run_all(quick: bool = False) -> Dict[str, object]:
         "scaling": bench_scaling(quick=quick),
         "backend_speedup": bench_backend_speedup(quick=quick),
         "telemetry_overhead": bench_telemetry_overhead(quick=quick),
+        "invariant_overhead": bench_invariant_overhead(quick=quick),
         "campaign": bench_campaign(quick=quick),
     }

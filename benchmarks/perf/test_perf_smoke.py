@@ -23,6 +23,7 @@ from perf.harness import (
     bench_backend_speedup,
     bench_campaign,
     bench_event_kernel,
+    bench_invariant_overhead,
     bench_scaling,
     bench_telemetry_overhead,
 )
@@ -40,6 +41,10 @@ TELEMETRY_OVERHEAD_BUDGET = 0.02
 # A fully-warm content-addressed cache must replay a campaign at least
 # 10x faster than simulating it.
 WARM_CACHE_SPEEDUP_FLOOR = 10.0
+# The *enabled* invariant checker actively validates on every hook, so
+# its budget is looser than idle telemetry's — but still < 3% wall
+# clock, and it must never move simulated time.
+INVARIANT_OVERHEAD_BUDGET = 0.03
 
 
 def test_event_kernel_speedup_gates():
@@ -90,6 +95,19 @@ def test_telemetry_overhead_gate():
     report = bench_telemetry_overhead(quick=False, repeats=15)
     assert report["bit_identical"], report
     assert report["overhead"] < TELEMETRY_OVERHEAD_BUDGET, report
+
+
+def test_invariant_overhead_gate():
+    """Enabled invariant checking: observation-only, < 3% wall clock.
+
+    Full-size scenario for the same timer-noise reason as the telemetry
+    gate.  ``bit_identical`` here means *enabled vs disabled* simulated
+    time — the checker observes reservations and records; it must never
+    change what the simulator computes.
+    """
+    report = bench_invariant_overhead(quick=False, repeats=15)
+    assert report["bit_identical"], report
+    assert report["overhead"] < INVARIANT_OVERHEAD_BUDGET, report
 
 
 def test_campaign_gates():

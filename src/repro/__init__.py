@@ -82,6 +82,16 @@ from repro.trace import (
     load_trace,
     save_trace,
 )
+from repro.validate import (
+    ConformanceReport,
+    InvariantChecker,
+    InvariantConfig,
+    InvariantError,
+    InvariantReport,
+    InvariantViolation,
+    run_conformance_suite,
+    run_metamorphic_suite,
+)
 from repro.workload import (
     ParallelismSpec,
     dlrm_paper,
@@ -107,6 +117,7 @@ __all__ = [
     "CheckpointConfig",
     "CollectiveRecord",
     "CollectiveType",
+    "ConformanceReport",
     "DeadlockError",
     "DimSpec",
     "ETNode",
@@ -121,6 +132,11 @@ __all__ = [
     "HierMemConfig",
     "HierarchicalRemoteMemory",
     "InSwitchCollectiveMemory",
+    "InvariantChecker",
+    "InvariantConfig",
+    "InvariantError",
+    "InvariantReport",
+    "InvariantViolation",
     "LocalMemory",
     "MemoryRequest",
     "MultiDimTopology",
@@ -157,6 +173,8 @@ __all__ = [
     "moe_1t",
     "parse_faults",
     "parse_topology",
+    "run_conformance_suite",
+    "run_metamorphic_suite",
     "save_trace",
     "simulate",
     "transformer_1t",

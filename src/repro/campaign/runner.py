@@ -110,6 +110,7 @@ FIELD_TYPES: Dict[str, Callable[[Any], Any]] = {
     "checkpoint_interval_ms": float,
     "checkpoint_gib": float,
     "trace_level": str,
+    "check_invariants": _bool,
 }
 
 _default_fields_cache: Optional[Dict[str, Any]] = None
@@ -167,7 +168,7 @@ def point_to_argv(point: Mapping[str, Any]) -> List[str]:
     argv: List[str] = []
     for name, value in resolved.items():
         flag = "--" + name.replace("_", "-")
-        if name == "inswitch":
+        if name in ("inswitch", "check_invariants"):
             if value:
                 argv.append(flag)
         elif name == "faults":

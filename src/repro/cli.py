@@ -244,6 +244,15 @@ def _telemetry_config(args: argparse.Namespace):
     return TelemetryConfig(trace_level=level)
 
 
+def _invariants_config(args: argparse.Namespace):
+    """Build the invariant-checker config (None when disabled)."""
+    if not getattr(args, "check_invariants", False):
+        return None
+    from repro.validate import InvariantConfig
+
+    return InvariantConfig(strict=getattr(args, "strict_invariants", False))
+
+
 def simulate_from_args(args: argparse.Namespace) -> Tuple[object, object, object]:
     """Build and run one simulation from parsed ``run`` flags.
 
@@ -267,6 +276,7 @@ def simulate_from_args(args: argparse.Namespace) -> Tuple[object, object, object
         remote_memory=remote_memory,
         fabric_collectives=fabric,
         telemetry=_telemetry_config(args),
+        invariants=_invariants_config(args),
     )
     resilience = None
     if args.faults or args.fault_seed is not None:
@@ -343,6 +353,17 @@ def run_from_args(args: argparse.Namespace) -> int:
 
         dump_metrics_json(result.telemetry, args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
+    if result.invariants is not None:
+        report = result.invariants
+        print(f"\ninvariants: {report.checks} checks, "
+              f"{report.violations_total} violations")
+        for key, count in sorted(report.counts_by_name().items()):
+            print(f"  {key}: {count}")
+        for violation in report.violations[:5]:
+            print(f"  [{violation.layer}/{violation.name}] "
+                  f"{violation.message}")
+        if not report.ok:
+            return 1
     return 0
 
 
@@ -404,6 +425,77 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         Path(args.csv_out).write_text(campaign_to_csv(doc))
         print(f"CSV table written to {args.csv_out}")
     return 1 if summary["errors"] else 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Run the repro.validate suites (see docs/validation.md)."""
+    import json
+
+    from repro.validate import run_conformance_suite, run_metamorphic_suite
+
+    quick = not args.full
+    suites = (("invariants", "metamorphic", "conformance")
+              if args.suite == "all" else (args.suite,))
+    doc = {"schema_version": 1, "suites": list(suites), "quick": quick}
+    failed = 0
+
+    if "invariants" in suites:
+        # An invariant-checked end-to-end run.  A user-supplied topology
+        # becomes the scenario; otherwise a hierarchical default is used.
+        if not args.topology:
+            args.topology, args.bandwidths = "Ring(2)_Switch(4)", "200,50"
+            if args.payload_mib == 1024.0:
+                args.payload_mib = 64.0
+        args.check_invariants = True
+        topology, result, _ = simulate_from_args(args)
+        report = result.invariants
+        doc["invariants"] = report.to_dict()
+        status = "ok" if report.ok else "FAIL"
+        print(f"invariants  : {status}  ({report.checks} checks, "
+              f"{report.violations_total} violations on "
+              f"{topology.notation()}/{args.workload})")
+        for violation in report.violations[:10]:
+            print(f"  [{violation.layer}/{violation.name}] "
+                  f"{violation.message}")
+        if not report.ok:
+            failed += 1
+
+    if "metamorphic" in suites:
+        results = run_metamorphic_suite(quick=quick)
+        bad = [r for r in results if not r.passed]
+        doc["metamorphic"] = {
+            "passed": not bad,
+            "relations_total": len(results),
+            "relations_failed": len(bad),
+            "results": [r.to_dict() for r in results],
+        }
+        status = "ok" if not bad else "FAIL"
+        print(f"metamorphic : {status}  ({len(results)} relation cases, "
+              f"{len(bad)} failed)")
+        for r in bad[:10]:
+            print(f"  [{r.relation}/{r.case}] {r.message}")
+        if bad:
+            failed += 1
+
+    if "conformance" in suites:
+        report = run_conformance_suite(quick=quick)
+        doc["conformance"] = report.to_dict()
+        total = len(report.cases) + len(report.memory_cases)
+        status = "ok" if report.passed else "FAIL"
+        print(f"conformance : {status}  ({total} scenario cases, "
+              f"{len(report.failures)} failed)")
+        for case in report.failures[:10]:
+            print(f"  [{case.scenario}] {case.message}")
+        if not report.passed:
+            failed += 1
+
+    doc["passed"] = failed == 0
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.report_out}")
+    return 1 if failed else 0
 
 
 def _cmd_trace_info(args: argparse.Namespace) -> int:
@@ -496,6 +588,14 @@ def _add_run_flags(parser: argparse.ArgumentParser, required: bool = True) -> No
                              "--metrics-out (deeper levels record more "
                              "spans; 'packet' needs a packet-modeling "
                              "backend)")
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="attach the runtime invariant checker "
+                             "(repro.validate): causality, conservation, "
+                             "and capacity laws verified during the run; "
+                             "violations are reported and fail the command")
+    parser.add_argument("--strict-invariants", action="store_true",
+                        help="with --check-invariants, raise at the first "
+                             "violation instead of collecting a report")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -547,6 +647,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv-out", default="", metavar="PATH",
                        help="write the per-point aggregate table as CSV")
     sweep.set_defaults(func=_cmd_sweep)
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the conformance/invariant suites (repro.validate): "
+             "runtime invariants, metamorphic relations, and the "
+             "cross-backend differential oracle")
+    _add_run_flags(validate, required=False)
+    validate.add_argument("--suite",
+                          choices=("invariants", "metamorphic",
+                                   "conformance", "all"),
+                          default="all",
+                          help="which pillar to run (default: all)")
+    validate.add_argument("--full", action="store_true",
+                          help="run the full scenario matrix instead of "
+                               "the quick subset")
+    validate.add_argument("--report-out", default="", metavar="PATH",
+                          help="write the versioned validation report JSON")
+    validate.set_defaults(func=_cmd_validate)
 
     info = sub.add_parser("trace-info", help="summarize an ET JSON file")
     info.add_argument("path")

@@ -9,7 +9,7 @@ disaggregated remote pool, optional in-switch collective fabric).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.faults.checkpoint import CheckpointConfig
 from repro.faults.spec import FaultSchedule
@@ -19,6 +19,9 @@ from repro.memory.local import LocalMemory
 from repro.network.topology import MultiDimTopology
 from repro.system.compute import RooflineCompute
 from repro.telemetry.config import TelemetryConfig
+
+if TYPE_CHECKING:  # repro.validate imports the core layer; keep it lazy here
+    from repro.validate.invariants import InvariantConfig
 
 DEFAULT_PEAK_TFLOPS = 234.0  # A100 measurement the paper uses (Sec. V)
 DEFAULT_HBM_GBPS = 2039.0  # A100 80GB HBM2e
@@ -54,6 +57,10 @@ class SystemConfig:
             tracing); ``None`` (the default) installs no instrumentation
             and keeps every hook on the exact un-instrumented fast path,
             mirroring the ``faults`` contract.
+        invariants: Runtime invariant-checking configuration
+            (:mod:`repro.validate`); ``None`` (the default) installs no
+            checker and keeps every hook on the exact un-instrumented
+            fast path — the same zero-cost contract as ``telemetry``.
     """
 
     topology: MultiDimTopology
@@ -73,6 +80,7 @@ class SystemConfig:
     faults: Optional[FaultSchedule] = None
     checkpoint: Optional[CheckpointConfig] = None
     telemetry: Optional[TelemetryConfig] = None
+    invariants: Optional["InvariantConfig"] = None
 
     def __post_init__(self) -> None:
         if self.collective_chunks < 1:

@@ -74,6 +74,9 @@ class ExecutionEngine:
         # Telemetry collector (repro.telemetry.Telemetry); same contract:
         # None keeps every hook on the exact un-instrumented path.
         self.telemetry = None
+        # Invariant checker (repro.validate.InvariantChecker); same
+        # contract again — None is the zero-cost fast path.
+        self.invariants = None
         self._inflight_collectives = 0
         self.traces = dict(traces)
         self.activity = ActivityLog()
@@ -364,6 +367,8 @@ class ExecutionEngine:
             )
             self.collective_records.append(record)
             self._inflight_collectives -= 1
+            if self.invariants is not None:
+                self.invariants.check_collective(record, op)
             if self.telemetry is not None:
                 self.telemetry.record_collective(
                     record, comm_key=(rep, dims, group))

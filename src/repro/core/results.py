@@ -10,6 +10,7 @@ from repro.stats.resilience import ResilienceReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.telemetry import TelemetryReport
+    from repro.validate.invariants import InvariantReport
 
 
 @dataclass
@@ -60,6 +61,9 @@ class RunResult:
             reproducible); its wall-clock profile is host-dependent and
             is therefore excluded from ``result_to_dict`` exports, like
             ``wall_time_s``.
+        invariants: :class:`repro.validate.InvariantReport` from the
+            runtime invariant checker; present only when an invariant
+            config was installed (``--check-invariants``).
         wall_time_s: Host wall-clock seconds the simulation took.  A cost
             metric only — deliberately excluded from
             :func:`repro.stats.export.result_to_dict` so exported results
@@ -75,6 +79,7 @@ class RunResult:
     activity: Optional[ActivityLog] = None
     resilience: Optional[ResilienceReport] = None
     telemetry: Optional["TelemetryReport"] = None
+    invariants: Optional["InvariantReport"] = None
     wall_time_s: Optional[float] = None
 
     @property

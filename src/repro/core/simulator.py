@@ -70,6 +70,18 @@ class Simulator:
                 memory_models=(config.local_memory, config.remote_memory,
                                config.fabric_collectives),
             )
+        # Runtime invariant checking (repro.validate): same opt-in
+        # contract — no config leaves every ``invariants`` slot at None.
+        self.invariants = None
+        if config.invariants is not None:
+            from repro.validate.invariants import InvariantChecker
+
+            self.invariants = InvariantChecker(config.invariants)
+            self.invariants.install(
+                self.engine, network=self.network, execution=self.execution,
+                memory_models=(config.local_memory, config.remote_memory,
+                               config.fabric_collectives),
+            )
 
     def run(self) -> RunResult:
         """Run to completion and collect results."""
@@ -91,6 +103,12 @@ class Simulator:
         if self.injector is not None:
             resilience = self.injector.report(
                 total_ns=total, checkpoint=self.config.checkpoint)
+        invariant_report = None
+        if self.invariants is not None:
+            # Before telemetry finalizes, so the violation counters land
+            # in the same metrics registry snapshot.
+            invariant_report = self.invariants.finalize(
+                total, telemetry=self.telemetry)
         report = None
         if self.telemetry is not None:
             with self.telemetry.profile.section("finalize"):
@@ -105,6 +123,7 @@ class Simulator:
             activity=self.execution.activity,
             resilience=resilience,
             telemetry=report,
+            invariants=invariant_report,
             wall_time_s=wall,
         )
 

@@ -29,6 +29,10 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 # Below this many heap entries compaction is pointless churn.
 _COMPACT_MIN_ENTRIES = 64
 
+# Upper bound for the inlined invariant guard: a finite timestamp t
+# satisfies now <= t < _INF; NaN fails every comparison.
+_INF = float("inf")
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid engine usage (e.g. scheduling into the past)."""
@@ -105,6 +109,12 @@ class EventEngine:
         self.cancels: int = 0
         self.compactions: int = 0
         self.telemetry = None
+        # Invariant checker slot (repro.validate.InvariantChecker);
+        # None keeps every schedule path un-instrumented.  The guards
+        # below catch what the delay/time raises cannot: NaN and
+        # infinite timestamps compare False against every bound and
+        # would corrupt heap ordering silently.
+        self.invariants = None
 
     @property
     def now(self) -> float:
@@ -140,6 +150,12 @@ class EventEngine:
         # Inlined schedule_at: delay >= 0 guarantees time >= now, and this
         # is the single hottest call in every simulation.
         time = self._now + delay
+        # Inlined invariant guard: the chained comparison fails for NaN
+        # and +/-inf as well as time travel, so the checker is only
+        # entered on an actual anomaly (see check_event_time).
+        if self.invariants is not None and not (
+                self._now <= time < _INF):
+            self.invariants.event_time_anomaly(time, self._now)
         seq = self._seq
         self._seq = seq + 1
         event = Event(time, priority, seq, fn, args, self)
@@ -159,6 +175,9 @@ class EventEngine:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
+        if self.invariants is not None and not (
+                self._now <= time < _INF):
+            self.invariants.event_time_anomaly(time, self._now)
         seq = self._seq
         self._seq = seq + 1
         event = Event(time, priority, seq, fn, args, self)
@@ -185,11 +204,14 @@ class EventEngine:
         append = batch.append
         now = self._now
         seq = self._seq
+        invariants = self.invariants
         for item in items:
             delay = item[0]
             if delay < 0:
                 raise SimulationError(
                     f"cannot schedule into the past (delay={delay})")
+            if invariants is not None and not (now <= now + delay < _INF):
+                invariants.event_time_anomaly(now + delay, now)
             append((now + delay, priority, seq, item[1],
                     item[2] if len(item) > 2 else ()))
             seq += 1

@@ -95,6 +95,9 @@ class HierarchicalRemoteMemory(MemoryModel):
     # Telemetry collector slot: the class attribute opts this model into
     # Telemetry.install() attachment; None is the zero-cost fast path.
     telemetry = None
+    # Invariant checker slot — same opt-in contract for
+    # InvariantChecker.install() (pipeline chunk-balance law).
+    invariants = None
 
     def __init__(self, config: HierMemConfig) -> None:
         self.config = config
@@ -161,7 +164,11 @@ class HierarchicalRemoteMemory(MemoryModel):
         stages = self.stage_times_ns(self.effective_chunk_bytes(request.size_bytes))
         fill = sum(stages.values())
         steady = (n - 1) * max(stages.values())
-        return c.access_latency_ns + fill + steady
+        total = c.access_latency_ns + fill + steady
+        if self.invariants is not None:
+            self.invariants.check_hiermem_access(
+                self, request.size_bytes, total)
+        return total
 
     # -- derived metrics ----------------------------------------------------------------
 

@@ -25,6 +25,9 @@ from repro.network.api import Message, NetworkBackend
 from repro.network.building_blocks import hops_between
 from repro.network.topology import MultiDimTopology
 
+# Upper bound for the inlined invariant guard in reserve_port.
+_INF = float("inf")
+
 
 class DimPort:
     """A serializing egress port: tracks when it next becomes free.
@@ -129,7 +132,15 @@ class AnalyticalNetwork(NetworkBackend):
         """
         if busy_ns < 0:
             raise ValueError(f"negative busy time {busy_ns}")
-        start, end = self.port(npu, dim).reserve(self.engine.now, busy_ns)
+        now = self.engine.now
+        start, end = self.port(npu, dim).reserve(now, busy_ns)
+        # Inlined invariant guard (see InvariantChecker.check_reservation):
+        # the resource label and the checker call are only built when the
+        # chained comparison actually fails.
+        if self.invariants is not None and not (
+                now - 1e-9 <= start <= end < _INF):
+            self.invariants.reservation_anomaly(
+                start, end, now, resource=f"port({npu},{dim})")
         spec = self.topology.dims[dim]
         if spec.oversubscription > 1.0 and spec.size > 1:
             if symmetric:

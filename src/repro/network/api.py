@@ -54,6 +54,9 @@ class NetworkBackend(abc.ABC):
         # when a TelemetryConfig is configured; None keeps every hook on
         # the exact un-instrumented code path.
         self.telemetry = None
+        # Invariant checker (repro.validate.InvariantChecker); same
+        # contract — None is the zero-cost fast path.
+        self.invariants = None
 
     # -- NetworkAPI --------------------------------------------------------------
 

@@ -235,6 +235,9 @@ class FlowLevelNetwork(NetworkBackend):
                 for link in flow.links:
                     residual[id(link)] = max(
                         0.0, residual[id(link)] - best_share)
+        if self.invariants is not None:
+            self.invariants.check_flow_rates(
+                link_objects.values(), self.engine.now)
         self._schedule_next_completion()
 
     def _schedule_next_completion(self) -> None:

@@ -179,6 +179,8 @@ class GarnetLiteNetwork(NetworkBackend):
 
     def _segment_arrived(self, flow: _PacketFlow, count: int) -> None:
         flow.packets_arrived += count
+        if self.invariants is not None:
+            self.invariants.check_packet_flow(flow, self.engine.now)
         if flow.packets_arrived == flow.packets_total:
             self._deliver(flow.message)
 

@@ -23,6 +23,9 @@ if TYPE_CHECKING:  # avoid a stats <-> core import cycle at runtime
 #: 2 — adds ``schema_version``, per-collective ``members``, and the
 #:     optional ``telemetry`` block (simulated-time metrics + span
 #:     summary; the wall-clock profile stays out for reproducibility).
+#:     The optional ``invariants`` block (--check-invariants) is a purely
+#:     additive key and does not bump the version: documents without it
+#:     are still complete v2 documents.
 RESULT_SCHEMA_VERSION = 2
 
 
@@ -67,6 +70,8 @@ def result_to_dict(result: "RunResult") -> Dict[str, Any]:
     }
     if result.telemetry is not None:
         doc["telemetry"] = result.telemetry.to_dict(include_profile=False)
+    if result.invariants is not None:
+        doc["invariants"] = result.invariants.to_dict()
     return doc
 
 

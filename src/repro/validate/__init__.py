@@ -1,0 +1,61 @@
+"""Cross-backend conformance and invariant checking (``repro.validate``).
+
+Three pillars (see ``docs/validation.md``):
+
+1. **Runtime invariants** — :class:`InvariantChecker` attaches to the
+   event kernel, network backends, collective scheduler, and memory
+   models through the same zero-cost-when-absent slot pattern as
+   telemetry and fault injection, asserting causality, conservation,
+   capacity, and finiteness laws while a simulation runs.
+2. **Metamorphic relations** — :func:`run_metamorphic_suite` checks laws
+   *between* runs (bandwidth monotonicity, permutation symmetry, payload
+   additivity, fluid-limit convergence) with no golden numbers.
+3. **Differential oracle** — :func:`run_conformance_suite` sweeps a
+   scenario matrix across backend pairs and memory models within
+   declared tolerance bands, emitting a versioned
+   :class:`ConformanceReport`.
+"""
+
+from repro.validate.conformance import (
+    CONFORMANCE_SCHEMA_VERSION,
+    REL_FLOW,
+    REL_PACKET,
+    REL_SAF,
+    ConformanceCase,
+    ConformanceReport,
+    MemoryModelCase,
+    run_conformance_suite,
+)
+from repro.validate.invariants import (
+    INVARIANTS_SCHEMA_VERSION,
+    InvariantChecker,
+    InvariantConfig,
+    InvariantError,
+    InvariantReport,
+    InvariantViolation,
+    expected_collective_traffic,
+)
+from repro.validate.metamorphic import (
+    RelationResult,
+    run_metamorphic_suite,
+)
+
+__all__ = [
+    "CONFORMANCE_SCHEMA_VERSION",
+    "ConformanceCase",
+    "ConformanceReport",
+    "INVARIANTS_SCHEMA_VERSION",
+    "InvariantChecker",
+    "InvariantConfig",
+    "InvariantError",
+    "InvariantReport",
+    "InvariantViolation",
+    "MemoryModelCase",
+    "REL_FLOW",
+    "REL_PACKET",
+    "REL_SAF",
+    "RelationResult",
+    "expected_collective_traffic",
+    "run_conformance_suite",
+    "run_metamorphic_suite",
+]

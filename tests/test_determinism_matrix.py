@@ -1,0 +1,134 @@
+"""Seed-determinism matrix: every backend x memory-model combo, twice.
+
+Two runs of the same configuration must export bit-identical
+``result_to_dict`` documents — the reproducibility contract the run
+cache, golden suite, and conformance reports all build on.  The matrix
+covers what each backend supports: the analytical backend runs every
+memory model (collectives + remote I/O); the packet and flow backends
+are p2p-only, so they run the local model on a pure-pipeline workload.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Simulator, SystemConfig
+from repro.memory import (
+    HierMemConfig,
+    HierarchicalRemoteMemory,
+    LocalMemory,
+    ZeroInfinityConfig,
+    ZeroInfinityMemory,
+)
+from repro.network import parse_topology
+from repro.stats.export import result_to_dict
+from repro.system import RooflineCompute
+from repro.trace import (
+    CollectiveType,
+    ETNode,
+    ExecutionTrace,
+    NodeType,
+    TensorLocation,
+)
+from repro.validate import InvariantConfig
+from repro.workload import ParallelismSpec, generate_pipeline_parallel
+from repro.workload.models import TransformerSpec
+
+MiB = 1 << 20
+
+
+def _remote_traces():
+    """Remote load -> compute -> All-Reduce -> remote store, 8 NPUs."""
+    nodes = [
+        ETNode(0, NodeType.MEMORY_LOAD, name="load.params",
+               tensor_bytes=4 * MiB, location=TensorLocation.REMOTE),
+        ETNode(1, NodeType.COMPUTE, name="fwd", flops=1 << 24,
+               tensor_bytes=1 * MiB, deps=(0,)),
+        ETNode(2, NodeType.COMM_COLLECTIVE, name="grad.allreduce",
+               tensor_bytes=2 * MiB, deps=(1,),
+               collective=CollectiveType.ALL_REDUCE),
+        ETNode(3, NodeType.MEMORY_STORE, name="store.grads",
+               tensor_bytes=4 * MiB, deps=(2,),
+               location=TensorLocation.REMOTE),
+    ]
+    return {0: ExecutionTrace(0, nodes)}
+
+
+def _pp_traces(topology):
+    model = TransformerSpec("tiny", num_layers=8, hidden=64, seq_len=32,
+                            batch_per_replica=2)
+    return generate_pipeline_parallel(
+        model, topology, ParallelismSpec(pp=8), microbatches=2)
+
+
+def _memory_model(name):
+    if name == "local":
+        return None
+    if name == "hiermem":
+        return HierarchicalRemoteMemory(HierMemConfig(
+            num_nodes=2, gpus_per_node=4, num_out_switches=2,
+            num_remote_groups=8, mem_side_bw_gbps=100.0,
+            gpu_side_out_bw_gbps=256.0, in_node_bw_gbps=256.0,
+            chunk_bytes=1 * MiB, access_latency_ns=1000.0))
+    if name == "zero-infinity":
+        return ZeroInfinityMemory(ZeroInfinityConfig(
+            path_bandwidth_gbps=100.0, access_latency_ns=2000.0))
+    raise ValueError(name)
+
+
+def _run_once(backend, memory):
+    topo = parse_topology("Ring(2)_Switch(4)", [200.0, 50.0],
+                          latencies_ns=[100.0, 500.0])
+    if backend == "analytical":
+        traces = _remote_traces()
+        if memory == "local":
+            # Local control: same graph with every tensor resident.
+            nodes = [ETNode(
+                n.node_id, n.node_type, name=n.name, flops=n.flops,
+                tensor_bytes=n.tensor_bytes, deps=n.deps,
+                collective=n.collective,
+            ) for n in traces[0].nodes]
+            traces = {0: ExecutionTrace(0, nodes)}
+    else:
+        traces = _pp_traces(topo)
+    config = SystemConfig(
+        topology=topo,
+        network_backend=backend,
+        compute=RooflineCompute(peak_tflops=100.0),
+        local_memory=LocalMemory(bandwidth_gbps=1000.0),
+        remote_memory=_memory_model(memory),
+        collective_chunks=4,
+    )
+    return json.dumps(result_to_dict(Simulator(traces, config).run()),
+                      sort_keys=True)
+
+
+MATRIX = (
+    [("analytical", m) for m in ("local", "hiermem", "zero-infinity")]
+    + [(b, "local") for b in ("garnet", "flow")]
+)
+
+
+class TestDeterminismMatrix:
+    @pytest.mark.parametrize("backend,memory", MATRIX,
+                             ids=[f"{b}-{m}" for b, m in MATRIX])
+    def test_two_runs_bit_identical(self, backend, memory):
+        assert _run_once(backend, memory) == _run_once(backend, memory)
+
+    def test_check_invariants_does_not_perturb_results(self):
+        """The checker observes; it must never change simulated time."""
+        topo = parse_topology("Ring(2)_Switch(4)", [200.0, 50.0])
+        plain = Simulator(
+            _remote_traces(),
+            SystemConfig(topology=topo,
+                         remote_memory=_memory_model("hiermem"))).run()
+        checked = Simulator(
+            _remote_traces(),
+            SystemConfig(topology=topo,
+                         remote_memory=_memory_model("hiermem"),
+                         invariants=InvariantConfig())).run()
+        assert checked.invariants is not None and checked.invariants.ok
+        checked_doc = result_to_dict(checked)
+        checked_doc.pop("invariants")
+        assert json.dumps(checked_doc, sort_keys=True) == json.dumps(
+            result_to_dict(plain), sort_keys=True)

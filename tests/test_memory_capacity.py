@@ -103,3 +103,54 @@ class TestCapacityReport:
         fp = MemoryFootprint(0, 0, 0, 0)
         with pytest.raises(ValueError):
             check_capacity(fp, hbm_gib=0)
+
+
+class TestCapacityEdgeCases:
+    def test_zero_and_negative_hbm_rejected(self):
+        fp = MemoryFootprint(0, 0, 0, 0)
+        with pytest.raises(ValueError, match="positive"):
+            check_capacity(fp, hbm_gib=0)
+        with pytest.raises(ValueError, match="positive"):
+            check_capacity(fp, hbm_gib=-40)
+
+    def test_empty_footprint_fits_anything_positive(self):
+        report = check_capacity(MemoryFootprint(0, 0, 0, 0), hbm_gib=1e-9)
+        assert report.fits
+        assert report.offload_bytes == 0
+        assert report.feasible_with_offload
+
+    def test_offload_clamped_to_model_state(self):
+        # Activations dwarf HBM: the spill exceeds what offload can move.
+        fp = MemoryFootprint(params=10, grads=10, optimizer=60,
+                             activations=100 * GiB)
+        report = check_capacity(fp, hbm_gib=1)
+        assert report.offload_bytes == fp.model_state
+        assert not report.feasible_with_offload
+
+    def test_pp_deeper_than_layers_keeps_one_layer_resident(self):
+        model = TransformerSpec("shallow", num_layers=2, hidden=64,
+                                seq_len=32, batch_per_replica=1)
+        deep = transformer_footprint(model, ParallelismSpec(pp=8))
+        shallow = transformer_footprint(model, ParallelismSpec(pp=2))
+        # max(1, layers//pp): an over-deep pipeline still keeps one layer
+        # resident per NPU, same as pp == layers.
+        assert deep.activations == shallow.activations
+        assert deep.activations >= model.seq_len * model.hidden
+
+    def test_zero_stage_boundaries_accepted(self):
+        model = gpt3_175b()
+        spec = ParallelismSpec(mp=8, dp=8)
+        s0 = transformer_footprint(model, spec, zero_stage=0)
+        s3 = transformer_footprint(model, spec, zero_stage=3)
+        assert s3.total < s0.total
+
+    def test_moe_intermediate_zero_stage_partitions_optimizer(self):
+        model = moe_1t()
+        s1 = moe_footprint(model, num_gpus=256, zero_stage=1)
+        s0 = moe_footprint(model, num_gpus=256, zero_stage=0)
+        assert s1.optimizer < s0.optimizer
+        assert s1.params == s0.params
+
+    def test_footprint_str_reports_gib(self):
+        text = str(MemoryFootprint(GiB, GiB, GiB, GiB))
+        assert "GiB" in text and "= 4.0 GiB" in text

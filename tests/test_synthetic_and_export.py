@@ -127,3 +127,41 @@ class TestResultExport:
         lines = text.strip().splitlines()
         assert len(lines) == 2  # header + 1 collective
         assert lines[0].startswith("name,collective")
+
+
+class TestExportEdgeCases:
+    def _collective_free_result(self):
+        # A compute-only trace produces no collective records at all.
+        from repro.trace import ETNode, ExecutionTrace, NodeType
+
+        topo = parse_topology("Ring(4)", [100])
+        traces = {0: ExecutionTrace(0, [
+            ETNode(0, NodeType.COMPUTE, name="fwd", flops=1 << 20),
+        ])}
+        return repro.simulate(traces, repro.SystemConfig(topology=topo))
+
+    def test_csv_of_collective_free_run_is_header_only(self):
+        text = collectives_to_csv(self._collective_free_result())
+        assert text.strip().splitlines() == [
+            "name,collective,payload_bytes,group_size,start_ns,finish_ns,"
+            "duration_ns"]
+
+    def test_invariants_block_present_only_when_checked(self, tmp_path):
+        topo = parse_topology("Ring(4)_Switch(2)", [100, 50])
+        traces = repro.generate_single_collective(
+            topo, repro.CollectiveType.ALL_REDUCE, 1 << 20)
+        plain = repro.simulate(traces, repro.SystemConfig(topology=topo))
+        assert "invariants" not in result_to_dict(plain)
+        checked = repro.simulate(traces, repro.SystemConfig(
+            topology=topo, invariants=repro.InvariantConfig()))
+        doc = result_to_dict(checked)
+        assert doc["invariants"]["ok"] is True
+        assert doc["invariants"]["schema_version"] == 1
+        # And the block survives a disk roundtrip.
+        path = tmp_path / "checked.json"
+        dump_result_json(checked, path)
+        assert load_result_json(path)["invariants"]["checks"] > 0
+
+    def test_load_result_json_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_result_json(tmp_path / "nope.json")

@@ -151,3 +151,46 @@ class TestFlexFlowConverter:
             }
             trace = convert_flexflow_taskgraph(payload)
             assert trace.node(0).collective is expected
+
+
+class TestFlexFlowEdgeCases:
+    def test_empty_task_graph_converts_to_empty_trace(self):
+        trace = convert_flexflow_taskgraph(
+            {"schema": "flexflow-taskgraph", "tasks": []})
+        assert len(trace) == 0
+        assert trace.npu_id == 0  # missing device defaults to 0
+
+    def test_store_and_recv_kinds(self):
+        payload = {
+            "schema": "flexflow-taskgraph", "device": 1,
+            "tasks": [
+                {"task_id": 0, "kind": "store", "deps": [], "bytes": 128},
+                {"task_id": 1, "kind": "recv", "deps": [0], "bytes": 8,
+                 "peer": 3},
+            ],
+        }
+        trace = convert_flexflow_taskgraph(payload)
+        store = trace.node(0)
+        assert store.node_type is NodeType.MEMORY_STORE
+        assert store.location is TensorLocation.LOCAL  # default
+        recv = trace.node(1)
+        assert recv.node_type is NodeType.COMM_RECV
+        assert recv.peer == 3
+        assert recv.tag == 0  # default
+
+    def test_name_defaults_to_kind(self):
+        payload = {
+            "schema": "flexflow-taskgraph", "device": 0,
+            "tasks": [{"task_id": 0, "kind": "allgather", "deps": [],
+                       "bytes": 64}],
+        }
+        assert convert_flexflow_taskgraph(payload).node(0).name == "allgather"
+
+    def test_bad_location_string_rejected(self):
+        payload = {
+            "schema": "flexflow-taskgraph", "device": 0,
+            "tasks": [{"task_id": 0, "kind": "load", "deps": [], "bytes": 4,
+                       "location": "the-moon"}],
+        }
+        with pytest.raises(ValueError):
+            convert_flexflow_taskgraph(payload)
