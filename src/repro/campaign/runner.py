@@ -90,13 +90,20 @@ FIELD_TYPES: Dict[str, Callable[[Any], Any]] = {
     "bandwidths": _dims_csv,
     "latencies": _dims_csv,
     "workload": str,
+    "model": str,
+    "model_json": str,
+    "batch": int,
+    "seq_len": int,
     "payload_mib": float,
     "scheduler": str,
     "backend": str,
+    "packet_bytes": int,
+    "train_packets": int,
     "chunks": int,
     "mp": int,
     "dp": int,
     "pp": int,
+    "ep": int,
     "microbatches": int,
     "peak_tflops": float,
     "hbm_gbps": float,
@@ -177,7 +184,7 @@ def point_to_argv(point: Mapping[str, Any]) -> List[str]:
         elif name == "fault_seed":
             if value is not None:
                 argv.extend([flag, str(value)])
-        elif name == "latencies":
+        elif name in ("latencies", "model", "model_json"):
             if value:
                 argv.extend([flag, value])
         else:

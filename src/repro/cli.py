@@ -96,7 +96,74 @@ def _parallel_degrees(args: argparse.Namespace, topology, mp: int, pp: int = 1):
     return dp
 
 
+def _ingest_from_args(args: argparse.Namespace):
+    """Resolve --model / --model-json (+ shape overrides) into an op graph."""
+    import dataclasses
+    from pathlib import Path
+
+    from repro.frontend import (
+        OPGRAPH_FORMAT,
+        FrontendError,
+        build_op_graph,
+        default_options_for,
+        load_config,
+        opgraph_from_dict,
+        zoo_entry,
+    )
+
+    model = getattr(args, "model", "")
+    model_json = getattr(args, "model_json", "")
+    if model and model_json:
+        raise SystemExit(
+            "error: --model and --model-json are mutually exclusive; give "
+            "one spec source")
+    if not model and not model_json:
+        raise SystemExit(
+            "error: no model spec; give --model NAME or --model-json PATH")
+    try:
+        if model:
+            entry = zoo_entry(model)
+            payload, options = entry.config, entry.options
+        else:
+            payload = load_config(model_json)
+            if payload.get("format") == OPGRAPH_FORMAT:
+                # Explicit op graphs carry their own shapes/costs; the
+                # batch/seq knobs only apply to architecture configs.
+                return opgraph_from_dict(payload)
+            options = default_options_for(payload)
+        overrides = {}
+        if getattr(args, "batch", 0):
+            overrides["batch"] = args.batch
+        if getattr(args, "seq_len", 0):
+            overrides["seq_len"] = args.seq_len
+        if overrides:
+            options = dataclasses.replace(options, **overrides)
+        graph = build_op_graph(payload, options)
+        graph.name = model or (graph.name or Path(model_json).stem)
+        return graph
+    except FrontendError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _frontend_traces(args: argparse.Namespace, topology):
+    """The frontend path of _build_traces: ingest, plan, emit traces."""
+    from repro.frontend import FrontendError, PlanConfig, plan
+
+    graph = _ingest_from_args(args)
+    try:
+        planned = plan(graph, topology, PlanConfig(
+            tp=args.mp, dp=args.dp, pp=args.pp,
+            ep=getattr(args, "ep", 0),
+            microbatches=args.microbatches))
+    except FrontendError as exc:
+        raise SystemExit(f"error: {exc}")
+    args.workload = f"ingest:{graph.name}"
+    return planned.traces
+
+
 def _build_traces(args: argparse.Namespace, topology):
+    if getattr(args, "model", "") or getattr(args, "model_json", ""):
+        return _frontend_traces(args, topology)
     payload = int(args.payload_mib * (1 << 20))
     if args.workload == "allreduce":
         return generate_single_collective(
@@ -268,6 +335,8 @@ def simulate_from_args(args: argparse.Namespace) -> Tuple[object, object, object
         scheduler=args.scheduler,
         collective_chunks=args.chunks,
         network_backend=args.backend,
+        packet_bytes=args.packet_bytes,
+        train_packets=args.train_packets,
         compute=repro.RooflineCompute(
             peak_tflops=args.peak_tflops,
             mem_bandwidth_gbps=args.hbm_gbps,
@@ -434,7 +503,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.validate import run_conformance_suite, run_metamorphic_suite
 
     quick = not args.full
-    suites = (("invariants", "metamorphic", "conformance")
+    suites = (("invariants", "metamorphic", "conformance", "frontend")
               if args.suite == "all" else (args.suite,))
     doc = {"schema_version": 1, "suites": list(suites), "quick": quick}
     failed = 0
@@ -489,6 +558,19 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         if not report.passed:
             failed += 1
 
+    if "frontend" in suites:
+        from repro.validate import run_frontend_suite
+
+        report = run_frontend_suite(quick=quick)
+        doc["frontend"] = report.to_dict()
+        status = "ok" if report.passed else "FAIL"
+        print(f"frontend    : {status}  ({len(report.cases)} ingestion "
+              f"cases, {len(report.failures)} failed)")
+        for case in report.failures[:10]:
+            print(f"  [{case.axis}/{case.case}] {case.message}")
+        if not report.passed:
+            failed += 1
+
     doc["passed"] = failed == 0
     if args.report_out:
         with open(args.report_out, "w", encoding="utf-8") as fh:
@@ -496,6 +578,82 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"report written to {args.report_out}")
     return 1 if failed else 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Ingest a model spec: inspect, lint, export, or emit traces."""
+    from repro.frontend import zoo_entries, zoo_names
+
+    if args.list_models:
+        print(f"{'model':<14} description")
+        for entry in zoo_entries():
+            print(f"{entry.name:<14} {entry.description}")
+        return 0
+    if not args.spec:
+        raise SystemExit(
+            "error: give a model spec (a zoo name or a JSON path), or "
+            "--list-models")
+    if args.spec in zoo_names():
+        args.model, args.model_json = args.spec, ""
+    else:
+        args.model, args.model_json = "", args.spec
+    graph = _ingest_from_args(args)
+
+    status = 0
+    if args.lint:
+        from repro.workload import lint_op_graph
+
+        findings = lint_op_graph(graph)
+        if findings:
+            print(f"lint     : {len(findings)} finding(s)")
+            for finding in findings:
+                print(f"  {finding}")
+            status = 1
+        else:
+            print("lint     : clean")
+
+    summary = graph.summary()
+    print(f"model    : {summary['name']}  ({summary['ops']} ops, "
+          f"{summary['layers']} layers)")
+    print(f"compute  : {summary['total_gflops']:,.0f} GFLOPs fwd/iter, "
+          f"{summary['total_params']:,} params "
+          f"({summary['param_gib']} GiB)")
+    kinds = ", ".join(f"{kind}={count}" for kind, count
+                      in sorted(summary["ops_by_kind"].items()))
+    print(f"ops      : {kinds}")
+    print(f"parallel : {summary['tensor_parallel_ops']} tensor-parallel "
+          f"ops, {summary['routed_ops']} routed ops")
+
+    if args.out:
+        from repro.frontend import save_opgraph
+
+        save_opgraph(graph, args.out)
+        print(f"opgraph written to {args.out}")
+
+    if args.emit_traces:
+        from pathlib import Path
+
+        from repro.frontend import FrontendError, PlanConfig, plan
+        from repro.trace.serialization import save_trace
+
+        topology = _build_topology(args)
+        try:
+            planned = plan(graph, topology, PlanConfig(
+                tp=args.mp, dp=args.dp, pp=args.pp, ep=args.ep,
+                microbatches=args.microbatches))
+        except FrontendError as exc:
+            raise SystemExit(f"error: {exc}")
+        out_dir = Path(args.emit_traces)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for npu, trace in sorted(planned.traces.items()):
+            save_trace(trace, out_dir / f"{graph.name}.npu{npu}.json")
+        degrees = planned.summary()["parallelism"]
+        print(f"plan     : tp={degrees['tp']} dp={degrees['dp']} "
+              f"pp={degrees['pp']} ep={degrees['ep']} on "
+              f"{topology.notation()}")
+        print(f"{len(planned.traces)} representative trace(s) written to "
+              f"{out_dir}/")
+    return status
 
 
 def _cmd_trace_info(args: argparse.Namespace) -> int:
@@ -531,13 +689,37 @@ def _add_run_flags(parser: argparse.ArgumentParser, required: bool = True) -> No
     parser.add_argument("--latencies", default="",
                         help="per-dim ns/hop, comma separated (default 500)")
     parser.add_argument("--workload", choices=WORKLOADS, default="allreduce")
+    parser.add_argument("--model", default="", metavar="NAME",
+                        help="simulate a frontend zoo model instead of a "
+                             "builtin workload (see: repro ingest "
+                             "--list-models)")
+    parser.add_argument("--model-json", default="", metavar="PATH",
+                        help="ingest an HF-style config.json or repro-opgraph "
+                             "JSON through the frontend and simulate it")
+    parser.add_argument("--batch", type=int, default=0,
+                        help="frontend batch size override (0 = the model "
+                             "family's default)")
+    parser.add_argument("--seq-len", type=int, default=0,
+                        help="frontend sequence length override (0 = the "
+                             "model family's default)")
+    parser.add_argument("--ep", type=int, default=0,
+                        help="expert-parallel degree for frontend models "
+                             "with routed ops (0 = auto)")
     parser.add_argument("--payload-mib", type=float, default=1024.0,
                         help="collective payload for allreduce/alltoall")
     parser.add_argument("--scheduler", choices=("baseline", "themis"),
                         default="themis")
     parser.add_argument("--backend", choices=("analytical", "garnet", "flow"),
                         default="analytical",
-                        help="network backend (detailed backends are p2p-only)")
+                        help="network backend; on garnet/flow collectives "
+                             "are lowered to explicit send/recv algorithms")
+    parser.add_argument("--packet-bytes", type=int, default=0,
+                        help="packet/segment size for the detailed backends "
+                             "(0 = backend default, 4096)")
+    parser.add_argument("--train-packets", type=int, default=1,
+                        help="garnet packet-train coalescing factor; > 1 "
+                             "trades contention granularity for simulation "
+                             "speed on large payloads")
     parser.add_argument("--chunks", type=int, default=16)
     parser.add_argument("--mp", type=int, default=0)
     parser.add_argument("--dp", type=int, default=0)
@@ -656,7 +838,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_flags(validate, required=False)
     validate.add_argument("--suite",
                           choices=("invariants", "metamorphic",
-                                   "conformance", "all"),
+                                   "conformance", "frontend", "all"),
                           default="all",
                           help="which pillar to run (default: all)")
     validate.add_argument("--full", action="store_true",
@@ -665,6 +847,46 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--report-out", default="", metavar="PATH",
                           help="write the versioned validation report JSON")
     validate.set_defaults(func=_cmd_validate)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="ingest a model spec (HF config.json, opgraph JSON, or zoo "
+             "name) through the frontend: inspect, lint, export, or emit "
+             "execution traces")
+    ingest.add_argument("spec", nargs="?", default="",
+                        help="zoo model name or path to a config/opgraph "
+                             "JSON file")
+    ingest.add_argument("--list-models", action="store_true",
+                        help="list the registered zoo models and exit")
+    ingest.add_argument("--lint", action="store_true",
+                        help="lint the ingested op graph "
+                             "(repro.workload.lint); findings fail the "
+                             "command")
+    ingest.add_argument("--batch", type=int, default=0,
+                        help="batch size override (0 = family default)")
+    ingest.add_argument("--seq-len", type=int, default=0,
+                        help="sequence length override (0 = family default)")
+    ingest.add_argument("--out", default="", metavar="PATH",
+                        help="export the normalized op graph as "
+                             "repro-opgraph JSON")
+    ingest.add_argument("--emit-traces", default="", metavar="DIR",
+                        help="plan on --topology/--bandwidths and write the "
+                             "representative execution traces as ET JSON "
+                             "files")
+    ingest.add_argument("--topology", default="",
+                        help="shape notation for --emit-traces")
+    ingest.add_argument("--bandwidths", default="",
+                        help="per-dim GB/s for --emit-traces")
+    ingest.add_argument("--latencies", default="",
+                        help="per-dim ns/hop for --emit-traces")
+    ingest.add_argument("--mp", type=int, default=0,
+                        help="tensor-parallel degree for --emit-traces "
+                             "(0 = auto)")
+    ingest.add_argument("--dp", type=int, default=0)
+    ingest.add_argument("--pp", type=int, default=0)
+    ingest.add_argument("--ep", type=int, default=0)
+    ingest.add_argument("--microbatches", type=int, default=4)
+    ingest.set_defaults(func=_cmd_ingest)
 
     info = sub.add_parser("trace-info", help="summarize an ET JSON file")
     info.add_argument("path")

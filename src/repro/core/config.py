@@ -36,11 +36,19 @@ class SystemConfig:
         scheduler: Collective chunk scheduler — ``"baseline"`` (fixed
             hierarchical order) or ``"themis"`` (greedy bandwidth-aware).
         collective_chunks: Pipelining degree of each collective.
-        network_backend: ``"analytical"`` (default; required for
+        network_backend: ``"analytical"`` (default; phase-level
             collectives), ``"garnet"`` (packet-level), or ``"flow"``
-            (max-min fair flow-level) — the detailed backends support
-            point-to-point-only workloads (e.g. pure pipeline
-            parallelism) and cross-validate the analytical model.
+            (max-min fair flow-level).  On the detailed backends
+            collectives are lowered to explicit send/recv algorithms
+            (:class:`repro.system.executor.SendRecvCollectiveExecutor`),
+            so every workload runs on every backend and the backends
+            cross-validate each other.
+        packet_bytes: Packet/segment size for the detailed backends
+            (``0`` keeps each backend's default, 4096).
+        train_packets: Garnet-lite packet-train coalescing factor; > 1
+            trades contention granularity for simulation speed on large
+            payloads (see :class:`~repro.network.garnetlite.
+            GarnetLiteNetwork`).
         compute: Roofline NPU model.
         local_memory: HBM model for LOCAL memory nodes.
         remote_memory: Model for REMOTE memory nodes; required if any
@@ -67,6 +75,8 @@ class SystemConfig:
     scheduler: str = "baseline"
     collective_chunks: int = 16
     network_backend: str = "analytical"
+    packet_bytes: int = 0
+    train_packets: int = 1
     compute: RooflineCompute = field(
         default_factory=lambda: RooflineCompute(
             peak_tflops=DEFAULT_PEAK_TFLOPS, mem_bandwidth_gbps=DEFAULT_HBM_GBPS
@@ -92,6 +102,12 @@ class SystemConfig:
                 f"network_backend must be 'analytical', 'garnet', or "
                 f"'flow', got {self.network_backend!r}"
             )
+        if self.packet_bytes < 0:
+            raise ValueError(
+                f"packet_bytes must be >= 0, got {self.packet_bytes}")
+        if self.train_packets < 1:
+            raise ValueError(
+                f"train_packets must be >= 1, got {self.train_packets}")
         if self.faults and self.network_backend != "analytical":
             raise ValueError(
                 "fault injection requires the analytical network backend, "

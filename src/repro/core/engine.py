@@ -98,6 +98,8 @@ class ExecutionEngine:
         self._fabric_port: Dict[int, DimPort] = {}
 
         self._rendezvous: Dict[Tuple, _CollectiveRendezvous] = {}
+        # Lazily-built send/recv collective lowering for packet backends.
+        self._sendrecv_executor = None
         self._coll_seq: Dict[Tuple, int] = {}
 
     # -- public ------------------------------------------------------------------
@@ -270,13 +272,6 @@ class ExecutionEngine:
     # -- collectives -----------------------------------------------------------------
 
     def _issue_collective(self, npu: int, node: ETNode) -> None:
-        if not isinstance(self.network, AnalyticalNetwork):
-            raise ValueError(
-                f"collective node {node.name!r} requires the analytical "
-                "network backend; the packet-level backend supports "
-                "point-to-point traffic only (set network_backend="
-                "'analytical')"
-            )
         topo = self.config.topology
         dims = node.comm_dims if node.comm_dims is not None else tuple(
             range(topo.num_dims)
@@ -303,9 +298,17 @@ class ExecutionEngine:
 
         if set(rendezvous.arrived) == rendezvous.participants:
             del self._rendezvous[instance_key]
-            self._start_collective(
-                node, dims, rep, group, rendezvous, group_shape
-            )
+            if isinstance(self.network, AnalyticalNetwork):
+                self._start_collective(
+                    node, dims, rep, group, rendezvous, group_shape
+                )
+            else:
+                # Packet-modeling backends have no phase-level collective
+                # abstraction: run the collective as explicit send/recv
+                # traffic (paper Sec. IV-C's validation apparatus), so
+                # the same traces execute unmodified on every backend.
+                self._start_collective_sendrecv(node, dims, rep, group,
+                                                rendezvous)
 
     def _shape_of(
         self, group: Tuple[int, ...], dims: Tuple[int, ...], node: ETNode
@@ -382,6 +385,71 @@ class ExecutionEngine:
         op.on_complete = on_complete
         self._inflight_collectives += 1
         op.start()
+
+    def _start_collective_sendrecv(
+        self,
+        node: ETNode,
+        dims: Tuple[int, ...],
+        rep: int,
+        group: Tuple[int, ...],
+        rendezvous: _CollectiveRendezvous,
+    ) -> None:
+        """Run a collective as explicit p2p traffic on a packet backend.
+
+        A flat ring (All-Reduce / All-Gather / Reduce-Scatter) or direct
+        personalized exchange (All-to-All) over the communicator's member
+        list — the executor drives traffic for *every* member, so
+        representative-trace workloads exercise the full group's packets.
+        """
+        executor = self._sendrecv_executor
+        if executor is None:
+            from repro.system.executor import SendRecvCollectiveExecutor
+
+            executor = self._sendrecv_executor = SendRecvCollectiveExecutor(
+                self.engine, self.network, tag_base=1 << 30)
+        from repro.trace.node import CollectiveType
+
+        start_time = self.engine.now
+        group_size = len(group)
+
+        def on_complete(_elapsed_ns: float) -> None:
+            record = CollectiveRecord(
+                name=node.name,
+                collective=node.collective.value,
+                payload_bytes=node.tensor_bytes,
+                rep_npu=rep,
+                group_size=group_size,
+                start_ns=start_time,
+                finish_ns=self.engine.now,
+                members=tuple(sorted(rendezvous.arrived)),
+            )
+            self.collective_records.append(record)
+            self._inflight_collectives -= 1
+            if self.telemetry is not None:
+                self.telemetry.record_collective(
+                    record, comm_key=(rep, dims, group))
+            for member, node_id in rendezvous.arrived.items():
+                self.activity.record(
+                    member, start_time, self.engine.now, Activity.COMM,
+                    node.name,
+                )
+                self._complete(member, self.traces[member].node(node_id))
+
+        self._inflight_collectives += 1
+        if node.collective is CollectiveType.ALL_REDUCE:
+            executor.run_ring_allreduce(group, int(node.tensor_bytes),
+                                        on_complete=on_complete)
+        elif node.collective in (CollectiveType.ALL_GATHER,
+                                 CollectiveType.REDUCE_SCATTER):
+            # Ring RS and ring AG move the same (k-1) chunks of size/k.
+            executor.run_ring_allgather(group, int(node.tensor_bytes),
+                                        on_complete=on_complete)
+        elif node.collective is CollectiveType.ALL_TO_ALL:
+            executor.run_alltoall(group, int(node.tensor_bytes),
+                                  on_complete=on_complete)
+        else:  # pragma: no cover - enum is closed today
+            raise ValueError(
+                f"collective {node.collective!r} has no send/recv lowering")
 
     # -- telemetry ---------------------------------------------------------------------
 

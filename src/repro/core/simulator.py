@@ -32,13 +32,23 @@ class Simulator:
         self.config = config
         self.engine = EventEngine()
         if config.network_backend == "garnet":
-            from repro.network.garnetlite import GarnetLiteNetwork
+            from repro.network.garnetlite import (
+                DEFAULT_PACKET_BYTES,
+                GarnetLiteNetwork,
+            )
 
-            self.network = GarnetLiteNetwork(self.engine, config.topology)
+            self.network = GarnetLiteNetwork(
+                self.engine, config.topology,
+                packet_bytes=config.packet_bytes or DEFAULT_PACKET_BYTES,
+                train_packets=config.train_packets)
         elif config.network_backend == "flow":
             from repro.network.flowlevel import FlowLevelNetwork
 
-            self.network = FlowLevelNetwork(self.engine, config.topology)
+            kwargs = {}
+            if config.packet_bytes:
+                kwargs["escalation_packet_bytes"] = config.packet_bytes
+            self.network = FlowLevelNetwork(self.engine, config.topology,
+                                            **kwargs)
         else:
             self.network = AnalyticalNetwork(self.engine, config.topology)
         self.scheduler = make_scheduler(config.scheduler)

@@ -26,6 +26,10 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
+# Pre-bound C functions: saves a module-attribute load per schedule call
+# on the hottest paths.
+_heappush = heapq.heappush
+
 # Below this many heap entries compaction is pointless churn.
 _COMPACT_MIN_ENTRIES = 64
 
@@ -158,8 +162,18 @@ class EventEngine:
             self.invariants.event_time_anomaly(time, self._now)
         seq = self._seq
         self._seq = seq + 1
-        event = Event(time, priority, seq, fn, args, self)
-        heapq.heappush(self._queue, (time, priority, seq, event))
+        # Inlined Event construction (no __init__ frame): self-scheduling
+        # event chains pay one schedule() per event fired, so this is as
+        # hot as the drain loop itself.
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = priority
+        event.seq = seq
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        event._engine = self
+        _heappush(self._queue, (time, priority, seq, event))
         self._live += 1
         return event
 
@@ -180,8 +194,15 @@ class EventEngine:
             self.invariants.event_time_anomaly(time, self._now)
         seq = self._seq
         self._seq = seq + 1
-        event = Event(time, priority, seq, fn, args, self)
-        heapq.heappush(self._queue, (time, priority, seq, event))
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = priority
+        event.seq = seq
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        event._engine = self
+        _heappush(self._queue, (time, priority, seq, event))
         self._live += 1
         return event
 

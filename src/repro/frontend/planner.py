@@ -1,0 +1,455 @@
+"""Automatic parallelism annotation: op graph + topology → execution traces.
+
+The planner maps an ingested :class:`~repro.frontend.ir.OpGraph` onto a
+:class:`~repro.network.topology.MultiDimTopology` through the same
+dimension-assignment machinery the builtin generators use
+(:func:`repro.workload.parallelism.assign_dims` /
+:func:`~repro.workload.parallelism.fit_hybrid`), then lowers it into
+per-NPU Chakra-style execution traces that run unmodified on all three
+network backends.
+
+Lowering rules (Megatron/ZeRO-style, mirroring
+:mod:`repro.workload.generators`):
+
+- **TP** (innermost dims): ``col`` ops shard comm-free in the forward
+  and All-Reduce their input gradient in the backward *iff* their input
+  was replicated; ``row`` ops All-Reduce their partial-sum output in
+  the forward.  Sharded ops divide FLOPs and parameter bytes by the
+  degree.
+- **EP**: ``routed`` ops (MoE experts, DLRM embedding bags) are wrapped
+  in dispatch/combine All-to-Alls over the expert dims — or over the DP
+  dims when ``ep == 1``, which is exactly DLRM's table sharding across
+  the data-parallel ranks.
+- **PP**: contiguous layer groups are balanced onto stages by FLOPs;
+  stages exchange per-microbatch boundary activations with send/recv
+  pairs under a GPipe or 1F1B issue order, one representative trace per
+  stage.
+- **DP** (outermost dims): per-layer-group weight-gradient All-Reduces
+  depend only on that group's backward ops, so they overlap deeper
+  groups' backward — the overlap structure the paper's case studies
+  measure.  Routed (model-parallel) parameters are excluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.frontend.ir import FrontendError, OpGraph, OpNode
+from repro.network.topology import MultiDimTopology
+from repro.trace.graph import ExecutionTrace
+from repro.trace.node import CollectiveType
+from repro.workload.generators import TraceBuilder, _stage_op_sequence
+from repro.workload.parallelism import (
+    DimAssignmentError,
+    ParallelismSpec,
+    assign_dims,
+)
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """Requested parallelization; ``0`` degrees are auto-fitted.
+
+    Auto rules: TP takes the innermost topology dimension when the graph
+    has tensor-parallel ops (and the dimension divides the system), DP
+    absorbs every NPU left over, PP and EP stay 1 unless requested.
+    """
+
+    tp: int = 0
+    dp: int = 0
+    pp: int = 0
+    ep: int = 0
+    microbatches: int = 4
+    schedule: str = "1f1b"
+    iterations: int = 1
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("tp", "dp", "pp", "ep"):
+            if getattr(self, name) < 0:
+                raise FrontendError(
+                    f"{name} must be >= 0 (0 = auto), got "
+                    f"{getattr(self, name)}")
+        if self.microbatches < 1 or self.iterations < 1:
+            raise FrontendError("microbatches/iterations must be >= 1")
+        if self.dtype_bytes < 1:
+            raise FrontendError(
+                f"dtype_bytes must be >= 1, got {self.dtype_bytes}")
+
+
+@dataclass
+class Plan:
+    """A planned workload: traces plus the strategy that produced them."""
+
+    graph: OpGraph
+    topology: MultiDimTopology
+    spec: ParallelismSpec
+    assignment: Dict[str, Tuple[int, ...]]
+    traces: Dict[int, ExecutionTrace]
+    stage_layers: List[List[Optional[int]]] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, Any]:
+        nodes = sum(len(t) for t in self.traces.values())
+        return {
+            "model": self.graph.name,
+            "ops": len(self.graph),
+            "parallelism": {"tp": self.spec.mp, "dp": self.spec.dp,
+                            "pp": self.spec.pp, "ep": self.spec.ep},
+            "dim_assignment": {axis: list(dims) for axis, dims
+                               in self.assignment.items()},
+            "representative_traces": len(self.traces),
+            "trace_nodes": nodes,
+            "stage_layers": [
+                [l for l in layers] for layers in self.stage_layers],
+        }
+
+
+def resolve_parallelism(
+    graph: OpGraph, topology: MultiDimTopology, config: PlanConfig
+) -> ParallelismSpec:
+    """Fill auto (0) degrees against the graph and topology."""
+    npus = topology.num_npus
+    tp = config.tp
+    if tp == 0:
+        inner = topology.dims[0].size
+        tp = inner if (graph.has_tensor_parallel_ops()
+                       and npus % inner == 0 and inner <= npus) else 1
+    pp = config.pp or 1
+    ep = config.ep or 1
+    if pp > 1 and graph.num_layers < pp:
+        raise FrontendError(
+            f"pp={pp} needs a layered graph with >= {pp} layers; "
+            f"{graph.name!r} has {graph.num_layers}")
+    shard = tp * pp * ep
+    if shard < 1 or npus % shard != 0:
+        raise FrontendError(
+            f"tp x pp x ep = {shard} does not divide the topology's "
+            f"{npus} NPUs")
+    dp = config.dp or npus // shard
+    spec = ParallelismSpec(mp=tp, dp=dp, pp=pp, ep=ep)
+    if spec.total != npus:
+        raise FrontendError(
+            f"tp x dp x pp x ep = {spec.total} but the topology has "
+            f"{npus} NPUs; leave a degree at 0 to auto-fit it")
+    return spec
+
+
+def _split_stages(graph: OpGraph, pp: int) -> List[List[Optional[int]]]:
+    """Balance layer groups onto ``pp`` contiguous stages by FLOPs.
+
+    The stem (pre-stack ops) joins the first stage and the head joins
+    the last, as real pipeline placements do.
+    """
+    groups = graph.layer_groups()
+    if pp == 1:
+        return [[key for key, _ in groups]]
+    flops = [sum(op.flops for op in ops) for _, ops in groups]
+    total = sum(flops) or 1
+    target = total / pp
+    stages: List[List[Optional[int]]] = [[] for _ in range(pp)]
+    stage, acc = 0, 0
+    for i, (key, _ops) in enumerate(groups):
+        remaining_groups = len(groups) - i
+        remaining_stages = pp - stage
+        if (stage < pp - 1 and acc >= target
+                and remaining_groups > remaining_stages - 1
+                and stages[stage]):
+            stage += 1
+            acc = 0
+        # Never strand a stage without groups.
+        if remaining_groups == remaining_stages and not stages[stage]:
+            pass
+        stages[stage].append(key)
+        acc += flops[i]
+    # Guarantee every stage is non-empty (tiny graphs, skewed FLOPs).
+    for s in range(pp):
+        if not stages[s]:
+            donor = max(range(pp), key=lambda d: len(stages[d]))
+            if len(stages[donor]) <= 1:
+                raise FrontendError(
+                    f"cannot split {len(groups)} layer groups onto "
+                    f"{pp} pipeline stages")
+            stages[s].append(stages[donor].pop())
+    return stages
+
+
+def plan(
+    graph: OpGraph,
+    topology: MultiDimTopology,
+    config: PlanConfig = PlanConfig(),
+) -> Plan:
+    """Annotate and lower an op graph into per-NPU execution traces."""
+    graph.validate()
+    spec = resolve_parallelism(graph, topology, config)
+    tp, dp, pp, ep = spec.mp, spec.dp, spec.pp, spec.ep
+
+    mp_group = dp_group = None
+    try:
+        assignment = assign_dims(topology, spec)
+    except DimAssignmentError as exc:
+        if pp == 1 and ep == 1 and tp * dp == topology.num_npus:
+            # Flat-group fallback (sub-dimension communicators sharing a
+            # wafer's bandwidth, paper Sec. V-A) — mirrors
+            # generate_megatron_hybrid.
+            assignment = {"mp": (), "dp": (), "pp": (), "ep": ()}
+            if tp > 1:
+                mp_group = tuple(range(tp))
+            if dp > 1:
+                dp_group = tuple(range(0, tp * dp, tp))
+        else:
+            raise FrontendError(
+                f"parallelism {spec} does not align with topology "
+                f"dimension boundaries: {exc}") from exc
+    mp_dims = tuple(assignment["mp"]) or None
+    dp_dims = tuple(assignment["dp"]) or None
+    pp_dims, ep_dims = assignment["pp"], assignment["ep"]
+    has_mp = (mp_dims is not None and len(mp_dims) > 0) or mp_group is not None
+    has_dp = (dp_dims is not None and len(dp_dims) > 0) or dp_group is not None
+    # Routed ops exchange over the EP dims, falling back to the DP dims
+    # (DLRM: tables sharded across the data-parallel ranks).
+    if ep > 1:
+        route_dims: Optional[Tuple[int, ...]] = ep_dims
+        route_group = None
+    elif has_dp:
+        route_dims, route_group = dp_dims, dp_group
+    else:
+        route_dims, route_group = None, None
+    has_route = route_dims is not None or route_group is not None
+
+    stage_layers = _split_stages(graph, pp)
+    stage_of: Dict[Optional[int], int] = {}
+    for s, keys in enumerate(stage_layers):
+        for key in keys:
+            stage_of[key] = s
+    order = graph.topological_order()
+    stage_ops: List[List[OpNode]] = [[] for _ in range(pp)]
+    for op in order:
+        stage_ops[stage_of[op.layer]].append(op)
+    for s, ops in enumerate(stage_ops):
+        if not ops:
+            raise FrontendError(
+                f"pipeline stage {s} received no ops; reduce pp")
+
+    microbatches = config.microbatches if pp > 1 else 1
+    _stage_op_sequence(config.schedule, 2, 0, 1)  # validate schedule name
+    dt = config.dtype_bytes
+
+    # Representative NPU per stage (PP coords encode the stage index).
+    def stage_rep(s: int) -> int:
+        coords = [0] * topology.num_dims
+        rest = s
+        for d in pp_dims:
+            coords[d] = rest % topology.dims[d].size
+            rest //= topology.dims[d].size
+        return topology.npu_id(coords)
+
+    reps = [stage_rep(s) for s in range(pp)]
+    if len(set(reps)) != pp:
+        raise FrontendError("pipeline stages collapsed onto one NPU")
+    builders = {reps[s]: TraceBuilder(reps[s]) for s in range(pp)}
+
+    consumers: Dict[int, List[int]] = {op.op_id: [] for op in graph}
+    for op in graph:
+        for dep in op.deps:
+            consumers[dep].append(op.op_id)
+
+    def sharded(op: OpNode, value: int) -> int:
+        shard = tp if op.tp != "none" else 1
+        eshard = ep if (op.routed and ep > 1) else 1
+        return max(1, value // (shard * eshard)) if value else 0
+
+    def mb_scale(value: int) -> int:
+        return max(1, value // microbatches) if value else 0
+
+    def producers_replicated(op: OpNode) -> bool:
+        return all(graph.op(d).tp == "none" for d in op.deps)
+
+    def tag(it: int, kind: str, s: int, mb: int) -> int:
+        base = {"f": 0, "b": 1}[kind]
+        return ((it * 2 + base) * pp + s) * microbatches + mb + 1
+
+    prev_end: Dict[int, Tuple[int, ...]] = {s: () for s in range(pp)}
+    for it in range(iterations := config.iterations):
+        grad_deps: Dict[int, Dict[Any, List[int]]] = {
+            s: {} for s in range(pp)}
+        stage_tail: Dict[int, Tuple[int, ...]] = dict(prev_end)
+        for s in range(pp):
+            b = builders[reps[s]]
+            ops = stage_ops[s]
+            in_stage = {op.op_id for op in ops}
+            boundary_in = mb_scale(ops[0].input_bytes or ops[0].output_bytes)
+            boundary_out = mb_scale(ops[-1].output_bytes
+                                    or ops[-1].input_bytes)
+            # Per-microbatch forward node map, kept for the backward.
+            fwd_nodes: Dict[int, Dict[int, int]] = {}
+            fwd_out: Dict[int, int] = {}
+            prev: Tuple[int, ...] = stage_tail[s]
+            for kind, mb in _stage_op_sequence(config.schedule, pp, s,
+                                               microbatches):
+                if kind == "f":
+                    nodes: Dict[int, int] = {}
+                    recv_id = None
+                    if s > 0:
+                        recv_id = b.recv(
+                            f"it{it}.recvF.s{s}.mb{mb}", reps[s - 1],
+                            boundary_in, tag(it, "f", s, mb), deps=prev)
+                    for op in ops:
+                        deps = [nodes[d] for d in op.deps if d in nodes]
+                        if not deps:
+                            # Stage/graph root: chain on the stage's
+                            # previous activity (serializes microbatches,
+                            # as the builtin pipeline generator does) and
+                            # on the boundary activation, if any.
+                            deps = list(prev)
+                            if recv_id is not None:
+                                deps.append(recv_id)
+                        elif recv_id is not None and any(
+                                d not in in_stage for d in op.deps):
+                            deps.append(recv_id)
+                        flops = mb_scale(sharded(op, op.flops))
+                        out_bytes = mb_scale(
+                            op.output_bytes // tp if op.tp == "col"
+                            and tp > 1 else op.output_bytes)
+                        if op.routed and has_route:
+                            dispatch = b.collective(
+                                f"it{it}.{op.name}.dispatchA2A.mb{mb}",
+                                CollectiveType.ALL_TO_ALL,
+                                mb_scale(op.route_bytes), route_dims,
+                                deps=deps, involved=route_group)
+                            deps = [dispatch]
+                        node = b.compute(
+                            f"it{it}.fwd.{op.name}.mb{mb}", flops,
+                            out_bytes, deps=deps)
+                        if op.routed and has_route:
+                            node = b.collective(
+                                f"it{it}.{op.name}.combineA2A.mb{mb}",
+                                CollectiveType.ALL_TO_ALL,
+                                mb_scale(op.route_bytes), route_dims,
+                                deps=(node,), involved=route_group)
+                        elif op.tp == "row" and has_mp:
+                            node = b.collective(
+                                f"it{it}.fwdAR.{op.name}.mb{mb}",
+                                CollectiveType.ALL_REDUCE,
+                                mb_scale(op.output_bytes), mp_dims,
+                                deps=(node,), involved=mp_group)
+                        nodes[op.op_id] = node
+                    fwd_nodes[mb] = nodes
+                    fwd_out[mb] = nodes[ops[-1].op_id]
+                    prev = (fwd_out[mb],)
+                    if s < pp - 1:
+                        b.send(f"it{it}.sendF.s{s}.mb{mb}", reps[s + 1],
+                               boundary_out, tag(it, "f", s + 1, mb),
+                               deps=prev)
+                else:  # backward microbatch
+                    bwd_nodes: Dict[int, int] = {}
+                    recv_id = None
+                    if s < pp - 1:
+                        recv_id = b.recv(
+                            f"it{it}.recvB.s{s}.mb{mb}", reps[s + 1],
+                            boundary_out, tag(it, "b", s, mb), deps=prev)
+                    nodes = fwd_nodes[mb]
+                    for op in reversed(ops):
+                        deps = [bwd_nodes[c] for c in consumers[op.op_id]
+                                if c in bwd_nodes]
+                        if not deps:
+                            # Graph/stage sink: its backward starts from
+                            # the stage's last activity plus this
+                            # microbatch's own forward output (the loss).
+                            deps = list(prev)
+                            if fwd_out[mb] not in deps:
+                                deps.append(fwd_out[mb])
+                            if recv_id is not None:
+                                deps.append(recv_id)
+                        elif recv_id is not None and any(
+                                c not in in_stage
+                                for c in consumers[op.op_id]):
+                            deps.append(recv_id)
+                        flops = 2 * mb_scale(sharded(op, op.flops))
+                        out_bytes = mb_scale(
+                            op.output_bytes // tp if op.tp == "col"
+                            and tp > 1 else op.output_bytes)
+                        if op.routed and has_route:
+                            dispatch = b.collective(
+                                f"it{it}.{op.name}.bwdDispatchA2A.mb{mb}",
+                                CollectiveType.ALL_TO_ALL,
+                                mb_scale(op.route_bytes), route_dims,
+                                deps=deps, involved=route_group)
+                            deps = [dispatch]
+                        node = b.compute(
+                            f"it{it}.bwd.{op.name}.mb{mb}", flops,
+                            out_bytes, deps=deps)
+                        if op.routed and has_route:
+                            node = b.collective(
+                                f"it{it}.{op.name}.bwdCombineA2A.mb{mb}",
+                                CollectiveType.ALL_TO_ALL,
+                                mb_scale(op.route_bytes), route_dims,
+                                deps=(node,), involved=route_group)
+                        elif (op.tp == "col" and has_mp
+                              and producers_replicated(op)):
+                            # Input was replicated: the input gradient's
+                            # partial sums reduce across the TP ranks.
+                            node = b.collective(
+                                f"it{it}.bwdAR.{op.name}.mb{mb}",
+                                CollectiveType.ALL_REDUCE,
+                                mb_scale(op.input_bytes
+                                         or op.output_bytes),
+                                mp_dims, deps=(node,), involved=mp_group)
+                        bwd_nodes[op.op_id] = node
+                        if op.param_bytes and not op.routed:
+                            grad_deps[s].setdefault(
+                                _group_key(op), []).append(node)
+                    prev = (bwd_nodes[ops[0].op_id],)
+                    if s > 0:
+                        b.send(f"it{it}.sendB.s{s}.mb{mb}", reps[s - 1],
+                               boundary_in, tag(it, "b", s - 1, mb),
+                               deps=prev)
+            stage_tail[s] = prev
+
+        # DP weight-gradient All-Reduces (per layer group, overlapping)
+        # and the optimizer step, per stage.
+        for s in range(pp):
+            b = builders[reps[s]]
+            grad_ars: List[int] = []
+            group_bytes: Dict[Any, int] = {}
+            for op in stage_ops[s]:
+                if op.param_bytes and not op.routed:
+                    shard = tp if op.tp != "none" else 1
+                    group_bytes[_group_key(op)] = (
+                        group_bytes.get(_group_key(op), 0)
+                        + max(1, op.param_bytes // shard))
+            if has_dp:
+                for key, deps in grad_deps[s].items():
+                    grad_ars.append(b.collective(
+                        f"it{it}.gradAR.s{s}.{key}",
+                        CollectiveType.ALL_REDUCE,
+                        group_bytes.get(key, 1), dp_dims,
+                        deps=tuple(deps), involved=dp_group))
+            opt_params = sum(
+                max(1, op.param_bytes
+                    // ((tp if op.tp != "none" else 1)
+                        * (ep if op.routed and ep > 1 else 1)))
+                for op in stage_ops[s] if op.param_bytes) // dt
+            step = b.compute(
+                f"it{it}.optimizer.s{s}", max(1, opt_params),
+                deps=tuple(grad_ars) + stage_tail[s])
+            prev_end[s] = (step,)
+
+    traces = {rep: builder.build() for rep, builder in builders.items()}
+    return Plan(graph=graph, topology=topology, spec=spec,
+                assignment={k: tuple(v) for k, v in assignment.items()},
+                traces=traces, stage_layers=stage_layers)
+
+
+def _group_key(op: OpNode) -> Any:
+    """Gradient-bucket key: the op's layer, or 'stem' for stack-external ops."""
+    return op.layer if op.layer is not None else "stem"
+
+
+def plan_traces(
+    graph: OpGraph,
+    topology: MultiDimTopology,
+    config: PlanConfig = PlanConfig(),
+) -> Dict[int, ExecutionTrace]:
+    """Convenience: plan and return just the trace set."""
+    return plan(graph, topology, config).traces

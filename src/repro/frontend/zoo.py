@@ -1,0 +1,171 @@
+"""Widened model zoo, registered through the ingestion path.
+
+Unlike the analytic specs in :mod:`repro.workload.models`, these entries
+are *HF-style config dicts* run through the same parser as user-supplied
+``config.json`` files — the zoo exercises the front door instead of
+bypassing it.  Each entry pairs an architecture config with
+family-appropriate runtime defaults (batch, sequence length, dtype).
+
+Entries (Table-III-style coverage plus the paper's scenario-diversity
+goals): Llama-style dense 8B and 70B decoders, a ViT-L/16 encoder, a
+Stable-Diffusion-shaped U-Net, a large DLRM variant, and a GPT-3-shaped
+decoder whose planned trace is the differential-conformance twin of the
+builtin ``gpt3_175b`` workload (see :mod:`repro.validate.frontend`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.frontend.hf_config import IngestOptions, build_op_graph
+from repro.frontend.ir import FrontendError, OpGraph
+
+
+@dataclass(frozen=True)
+class ZooEntry:
+    """One registered model: an HF-style config plus runtime defaults."""
+
+    name: str
+    description: str
+    config: Dict[str, Any]
+    options: IngestOptions
+
+    def graph(self, options: Optional[IngestOptions] = None) -> OpGraph:
+        graph = build_op_graph(self.config, options or self.options)
+        graph.name = self.name
+        return graph
+
+
+def _llama(name: str, *, hidden: int, layers: int, heads: int,
+           kv_heads: int, intermediate: int, vocab: int = 32000,
+           max_pos: int = 4096) -> Dict[str, Any]:
+    return {
+        "_name_or_path": name,
+        "model_type": "llama",
+        "hidden_size": hidden,
+        "num_hidden_layers": layers,
+        "num_attention_heads": heads,
+        "num_key_value_heads": kv_heads,
+        "intermediate_size": intermediate,
+        "hidden_act": "silu",
+        "vocab_size": vocab,
+        "max_position_embeddings": max_pos,
+        "tie_word_embeddings": False,
+    }
+
+
+_ENTRIES: Tuple[ZooEntry, ...] = (
+    ZooEntry(
+        name="llama3-8b",
+        description="Llama-3-style dense 8B decoder (GQA, gated MLP)",
+        config=_llama("llama3-8b", hidden=4096, layers=32, heads=32,
+                      kv_heads=8, intermediate=14336, vocab=128256,
+                      max_pos=8192),
+        options=IngestOptions(batch=1, seq_len=2048),
+    ),
+    ZooEntry(
+        name="llama-70b",
+        description="Llama-style dense 70B decoder (GQA, gated MLP)",
+        config=_llama("llama-70b", hidden=8192, layers=80, heads=64,
+                      kv_heads=8, intermediate=28672),
+        options=IngestOptions(batch=1, seq_len=2048),
+    ),
+    ZooEntry(
+        name="vit-l16",
+        description="ViT-L/16 vision encoder (224px, patch 16)",
+        config={
+            "_name_or_path": "vit-l16",
+            "model_type": "vit",
+            "hidden_size": 1024,
+            "num_hidden_layers": 24,
+            "num_attention_heads": 16,
+            "intermediate_size": 4096,
+            "image_size": 224,
+            "patch_size": 16,
+            "num_channels": 3,
+            "num_labels": 1000,
+        },
+        options=IngestOptions(batch=8),
+    ),
+    ZooEntry(
+        name="unet-sd",
+        description="Stable-Diffusion-shaped UNet2DConditionModel",
+        config={
+            "_class_name": "UNet2DConditionModel",
+            "sample_size": 64,
+            "in_channels": 4,
+            "block_out_channels": [320, 640, 1280, 1280],
+            "layers_per_block": 2,
+            "cross_attention_dim": 768,
+            "down_block_types": [
+                "CrossAttnDownBlock2D", "CrossAttnDownBlock2D",
+                "CrossAttnDownBlock2D", "DownBlock2D"],
+        },
+        options=IngestOptions(batch=8),
+    ),
+    ZooEntry(
+        name="dlrm-large",
+        description="Large DLRM: 856 tables x 4M rows, fp32 MLPs",
+        config={
+            "_name_or_path": "dlrm-large",
+            "model_type": "dlrm",
+            "num_embedding_tables": 856,
+            "rows_per_table": 4_000_000,
+            "embedding_dim": 128,
+            "bottom_mlp": [13, 512, 256, 128],
+            "top_mlp": [479, 1024, 1024, 512, 256, 1],
+        },
+        options=IngestOptions(batch=64, dtype_bytes=4),
+    ),
+    ZooEntry(
+        name="gpt3-175b-hf",
+        description=("GPT-3-shaped decoder (96L, h=12288) — conformance "
+                     "twin of the builtin gpt3_175b workload"),
+        config={
+            "_name_or_path": "gpt3-175b-hf",
+            "model_type": "gpt2",
+            "n_embd": 12288,
+            "n_layer": 96,
+            "n_head": 96,
+            "n_positions": 2048,
+            "vocab_size": 50257,
+            "tie_word_embeddings": True,
+        },
+        options=IngestOptions(batch=2, seq_len=2048),
+    ),
+)
+
+_BY_NAME: Dict[str, ZooEntry] = {entry.name: entry for entry in _ENTRIES}
+
+
+def zoo_names() -> List[str]:
+    """Registered model names, in registration order."""
+    return [entry.name for entry in _ENTRIES]
+
+
+def zoo_entries() -> Tuple[ZooEntry, ...]:
+    return _ENTRIES
+
+
+def zoo_entry(name: str) -> ZooEntry:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise FrontendError(
+            f"unknown zoo model {name!r}; available: "
+            f"{', '.join(zoo_names())}") from None
+
+
+def zoo_graph(name: str, options: Optional[IngestOptions] = None,
+              **overrides: int) -> OpGraph:
+    """Build a zoo model's op graph, optionally overriding runtime knobs.
+
+    ``overrides`` patch individual :class:`IngestOptions` fields on top
+    of the entry's defaults (e.g. ``zoo_graph("llama-70b", seq_len=512)``).
+    """
+    entry = zoo_entry(name)
+    opts = options or entry.options
+    if overrides:
+        opts = replace(opts, **overrides)
+    return entry.graph(opts)

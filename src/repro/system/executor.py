@@ -41,10 +41,14 @@ class _RingRank:
 class SendRecvCollectiveExecutor:
     """Executes ring collectives with explicit sim_send/sim_recv traffic."""
 
-    def __init__(self, engine: EventEngine, backend: NetworkBackend) -> None:
+    def __init__(self, engine: EventEngine, backend: NetworkBackend,
+                 tag_base: int = 0) -> None:
         self.engine = engine
         self.backend = backend
-        self._tag_base = 0
+        # A non-zero starting tag keeps executor traffic out of the tag
+        # space used by explicit trace send/recv nodes when both share a
+        # backend (the execution engine starts it at 2^30).
+        self._tag_base = tag_base
 
     def _next_tag_base(self, steps: int) -> int:
         base = self._tag_base
@@ -134,6 +138,59 @@ class SendRecvCollectiveExecutor:
 
         for idx in range(k):
             start_phase(idx, 0)
+
+    def run_alltoall(
+        self,
+        group: Sequence[int],
+        payload_bytes: int,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        """All-to-All: one personalized exchange phase.
+
+        ``payload_bytes`` is each rank's total exchange payload; every
+        rank sends ``payload/k`` to each of the ``k - 1`` peers (the
+        token-routing / embedding-exchange pattern of MoE and DLRM).
+        """
+        k = len(group)
+        if k < 2:
+            if on_complete is not None:
+                self.engine.schedule(0.0, on_complete, 0.0)
+            return
+        if len(set(group)) != k:
+            raise ValueError(f"group contains duplicate NPUs: {group}")
+        chunk = max(1, payload_bytes // k)
+        tag = self._next_tag_base(1)
+        start_time = self.engine.now
+        finished = {"count": 0}
+
+        def start_rank(idx: int) -> None:
+            npu = group[idx]
+            state = {"sent": 0, "received": 0}
+
+            def maybe_finish() -> None:
+                if state["sent"] == k - 1 and state["received"] == k - 1:
+                    finished["count"] += 1
+                    if finished["count"] == k and on_complete is not None:
+                        on_complete(self.engine.now - start_time)
+
+            def on_sent() -> None:
+                state["sent"] += 1
+                maybe_finish()
+
+            def on_received(_msg) -> None:
+                state["received"] += 1
+                maybe_finish()
+
+            for peer in group:
+                if peer == npu:
+                    continue
+                self.backend.sim_recv(npu, peer, chunk, tag=tag,
+                                      callback=on_received)
+                self.backend.sim_send(npu, peer, chunk, tag=tag,
+                                      callback=on_sent)
+
+        for idx in range(k):
+            start_rank(idx)
 
     def run_halving_doubling_allreduce(
         self,

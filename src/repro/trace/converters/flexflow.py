@@ -31,19 +31,48 @@ _COLLECTIVE_KINDS = {
 
 
 def convert_flexflow_taskgraph(payload: Dict[str, Any]) -> ExecutionTrace:
-    """Convert one device's FlexFlow task graph into an ET."""
+    """Convert one device's FlexFlow task graph into an ET.
+
+    Raises :class:`TraceValidationError` on schema problems — including
+    malformed task records (missing ids, send/recv without a peer, bad
+    locations) and truncated documents with unresolvable dependencies.
+    """
+    if not isinstance(payload, dict):
+        raise TraceValidationError(
+            f"flexflow payload must be an object, got {type(payload).__name__}")
     if payload.get("schema") != "flexflow-taskgraph":
         raise TraceValidationError(
             f"expected schema 'flexflow-taskgraph', got {payload.get('schema')!r}"
         )
-    device = int(payload.get("device", 0))
+    try:
+        device = int(payload.get("device", 0))
+    except (TypeError, ValueError):
+        raise TraceValidationError(
+            f"'device' must be an integer, got {payload.get('device')!r}")
     tasks: Sequence[Dict[str, Any]] = payload.get("tasks", ())
+    if not isinstance(tasks, (list, tuple)):
+        raise TraceValidationError(
+            f"'tasks' must be a list, got {type(tasks).__name__}")
 
     nodes: List[ETNode] = []
-    for task in tasks:
+    for index, task in enumerate(tasks):
+        if not isinstance(task, dict):
+            raise TraceValidationError(
+                f"tasks[{index}] is not an object: {task!r}")
         kind = task.get("kind", "task")
-        deps = tuple(task.get("deps", ()))
+        raw_deps = task.get("deps", ())
+        if not isinstance(raw_deps, (list, tuple)):
+            raise TraceValidationError(
+                f"tasks[{index}]: 'deps' must be a list, got {raw_deps!r}")
+        deps = tuple(raw_deps)
+        if "task_id" not in task:
+            raise TraceValidationError(
+                f"tasks[{index}] ({task.get('name', kind)!r}) has no "
+                "'task_id' field")
         tid = task["task_id"]
+        if not isinstance(tid, int) or isinstance(tid, bool):
+            raise TraceValidationError(
+                f"tasks[{index}]: task_id must be an integer, got {tid!r}")
         name = task.get("name", kind)
         size = task.get("bytes", 0)
         if kind in _COLLECTIVE_KINDS:
@@ -62,6 +91,14 @@ def convert_flexflow_taskgraph(payload: Dict[str, Any]) -> ExecutionTrace:
                 )
             )
         elif kind in ("send", "recv"):
+            if "peer" not in task:
+                raise TraceValidationError(
+                    f"task {tid} ({name!r}): {kind} requires a 'peer' field")
+            peer = task["peer"]
+            if not isinstance(peer, int) or isinstance(peer, bool):
+                raise TraceValidationError(
+                    f"task {tid} ({name!r}): peer must be an integer "
+                    f"device id, got {peer!r}")
             nodes.append(
                 ETNode(
                     node_id=tid,
@@ -71,11 +108,17 @@ def convert_flexflow_taskgraph(payload: Dict[str, Any]) -> ExecutionTrace:
                     name=name,
                     deps=deps,
                     tensor_bytes=size,
-                    peer=task["peer"],
+                    peer=peer,
                     tag=task.get("tag", 0),
                 )
             )
         elif kind in ("load", "store"):
+            try:
+                location = TensorLocation(task.get("location", "local"))
+            except ValueError:
+                raise TraceValidationError(
+                    f"task {tid} ({name!r}): unknown tensor location "
+                    f"{task.get('location')!r}")
             nodes.append(
                 ETNode(
                     node_id=tid,
@@ -85,7 +128,7 @@ def convert_flexflow_taskgraph(payload: Dict[str, Any]) -> ExecutionTrace:
                     name=name,
                     deps=deps,
                     tensor_bytes=size,
-                    location=TensorLocation(task.get("location", "local")),
+                    location=location,
                 )
             )
         elif kind == "task":

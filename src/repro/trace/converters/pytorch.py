@@ -66,33 +66,75 @@ def _collective_for(name: str) -> CollectiveType:
     raise TraceValidationError(f"unrecognized collective operator {name!r}")
 
 
+def _node_id(raw: Dict[str, Any], index: int) -> int:
+    """The node's required integer id, with a structured error."""
+    if not isinstance(raw, dict):
+        raise TraceValidationError(
+            f"nodes[{index}] is not an object: {raw!r}")
+    if "id" not in raw:
+        raise TraceValidationError(
+            f"nodes[{index}] ({raw.get('name', '?')!r}) has no 'id' field")
+    node_id = raw["id"]
+    if not isinstance(node_id, int) or isinstance(node_id, bool):
+        raise TraceValidationError(
+            f"nodes[{index}]: id must be an integer, got {node_id!r}")
+    return node_id
+
+
 def convert_pytorch_eg(payload: Dict[str, Any]) -> ExecutionTrace:
     """Convert one rank's PyTorch execution-graph JSON into an ET.
 
-    Raises :class:`TraceValidationError` on schema problems.
+    Raises :class:`TraceValidationError` on schema problems — including
+    malformed node records (missing/non-integer ids, bad peer or
+    location fields) and truncated documents whose surviving nodes
+    depend on nodes that were cut off.
     """
+    if not isinstance(payload, dict):
+        raise TraceValidationError(
+            f"pytorch-eg payload must be an object, got {type(payload).__name__}")
     if payload.get("schema") != "pytorch-eg":
         raise TraceValidationError(
             f"expected schema 'pytorch-eg', got {payload.get('schema')!r}"
         )
     raw_nodes: Sequence[Dict[str, Any]] = payload.get("nodes", ())
-    rank = int(payload.get("rank", 0))
+    if not isinstance(raw_nodes, (list, tuple)):
+        raise TraceValidationError(
+            f"'nodes' must be a list, got {type(raw_nodes).__name__}")
+    try:
+        rank = int(payload.get("rank", 0))
+    except (TypeError, ValueError):
+        raise TraceValidationError(
+            f"'rank' must be an integer, got {payload.get('rank')!r}")
 
     # Pass 1: map each tensor id to its (last) producer node id.
     producer: Dict[int, int] = {}
-    for raw in raw_nodes:
-        for tensor_id in raw.get("outputs", ()):
-            producer[tensor_id] = raw["id"]
+    for index, raw in enumerate(raw_nodes):
+        node_id = _node_id(raw, index)
+        outputs = raw.get("outputs", ())
+        if not isinstance(outputs, (list, tuple)):
+            raise TraceValidationError(
+                f"node {node_id}: 'outputs' must be a list, got {outputs!r}")
+        for tensor_id in outputs:
+            producer[tensor_id] = node_id
 
     # Pass 2: compute raw data-flow deps.
     raw_deps: Dict[int, List[int]] = {}
     for raw in raw_nodes:
         deps = []
-        for tensor_id in raw.get("inputs", ()):
+        inputs = raw.get("inputs", ())
+        if not isinstance(inputs, (list, tuple)):
+            raise TraceValidationError(
+                f"node {raw['id']}: 'inputs' must be a list, got {inputs!r}")
+        for tensor_id in inputs:
             src = producer.get(tensor_id)
             if src is not None and src != raw["id"]:
                 deps.append(src)
-        for ctrl in raw.get("ctrl_deps", ()):
+        ctrl_deps = raw.get("ctrl_deps", ())
+        if not isinstance(ctrl_deps, (list, tuple)):
+            raise TraceValidationError(
+                f"node {raw['id']}: 'ctrl_deps' must be a list, "
+                f"got {ctrl_deps!r}")
+        for ctrl in ctrl_deps:
             deps.append(ctrl)
         raw_deps[raw["id"]] = sorted(set(deps))
 
@@ -132,6 +174,11 @@ def convert_pytorch_eg(payload: Dict[str, Any]) -> ExecutionTrace:
         if kind == "comm":
             comm_dims = tuple(raw["comm_dims"]) if "comm_dims" in raw else None
             if "peer" in raw:
+                peer = raw["peer"]
+                if not isinstance(peer, int) or isinstance(peer, bool):
+                    raise TraceValidationError(
+                        f"node {raw['id']} ({name!r}): peer must be an "
+                        f"integer NPU id, got {peer!r}")
                 node_type = (
                     NodeType.COMM_SEND
                     if "send" in name.lower()
@@ -144,7 +191,7 @@ def convert_pytorch_eg(payload: Dict[str, Any]) -> ExecutionTrace:
                         name=name,
                         deps=tuple(deps),
                         tensor_bytes=raw.get("tensor_bytes", 0),
-                        peer=raw["peer"],
+                        peer=peer,
                         tag=raw.get("tag", 0),
                     )
                 )
@@ -161,7 +208,12 @@ def convert_pytorch_eg(payload: Dict[str, Any]) -> ExecutionTrace:
                     )
                 )
         elif kind == "memory":
-            location = TensorLocation(raw.get("location", "local"))
+            try:
+                location = TensorLocation(raw.get("location", "local"))
+            except ValueError:
+                raise TraceValidationError(
+                    f"node {raw['id']} ({name!r}): unknown tensor location "
+                    f"{raw.get('location')!r}")
             node_type = (
                 NodeType.MEMORY_STORE
                 if raw.get("direction") == "store"

@@ -14,6 +14,9 @@ Three pillars (see ``docs/validation.md``):
    scenario matrix across backend pairs and memory models within
    declared tolerance bands, emitting a versioned
    :class:`ConformanceReport`.
+4. **Frontend gate** — :func:`run_frontend_suite` differentially checks
+   the :mod:`repro.frontend` ingestion pipeline against the builtin
+   analytic generators (the GPT-3 twin) and smoke-simulates the zoo.
 """
 
 from repro.validate.conformance import (
@@ -35,6 +38,13 @@ from repro.validate.invariants import (
     InvariantViolation,
     expected_collective_traffic,
 )
+from repro.validate.frontend import (
+    FRONTEND_SCHEMA_VERSION,
+    REL_FRONTEND,
+    FrontendCase,
+    FrontendReport,
+    run_frontend_suite,
+)
 from repro.validate.metamorphic import (
     RelationResult,
     run_metamorphic_suite,
@@ -44,6 +54,9 @@ __all__ = [
     "CONFORMANCE_SCHEMA_VERSION",
     "ConformanceCase",
     "ConformanceReport",
+    "FRONTEND_SCHEMA_VERSION",
+    "FrontendCase",
+    "FrontendReport",
     "INVARIANTS_SCHEMA_VERSION",
     "InvariantChecker",
     "InvariantConfig",
@@ -52,10 +65,12 @@ __all__ = [
     "InvariantViolation",
     "MemoryModelCase",
     "REL_FLOW",
+    "REL_FRONTEND",
     "REL_PACKET",
     "REL_SAF",
     "RelationResult",
     "expected_collective_traffic",
     "run_conformance_suite",
+    "run_frontend_suite",
     "run_metamorphic_suite",
 ]

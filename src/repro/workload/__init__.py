@@ -22,7 +22,7 @@ from repro.workload.models import (
     moe_1t,
     transformer_1t,
 )
-from repro.workload.lint import lint_traces
+from repro.workload.lint import lint_op_graph, lint_traces
 from repro.workload.parallelism import ParallelismSpec, assign_dims
 from repro.workload.generators import (
     generate_data_parallel,
@@ -49,6 +49,7 @@ __all__ = [
     "generate_pipeline_parallel",
     "generate_single_collective",
     "gpt3_175b",
+    "lint_op_graph",
     "lint_traces",
     "moe_1t",
     "transformer_1t",

@@ -13,17 +13,27 @@ and reports:
 - collective count mismatches between simulated members of the same
   communicator (rendezvous would hang).
 
-Returns a list of human-readable findings; empty means clean.
+:func:`lint_op_graph` applies the same philosophy one layer up, to
+frontend-produced operator graphs (:mod:`repro.frontend`): dangling or
+self dependencies, duplicate ids, cycles, cost-free ops, shape/cost
+mismatches, and routed ops without an exchange payload — reported as
+findings instead of raised, so ``repro ingest --lint`` can show them
+all at once.
+
+Both return a list of human-readable findings; empty means clean.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, List, Mapping, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Tuple
 
 from repro.network.topology import MultiDimTopology
 from repro.trace.graph import ExecutionTrace
 from repro.trace.node import NodeType
+
+if TYPE_CHECKING:  # avoid a workload <-> frontend import cycle at runtime
+    from repro.frontend.ir import OpGraph
 
 
 def lint_traces(
@@ -81,6 +91,81 @@ def lint_traces(
             findings.append(
                 f"communicator rep {key[0]}: members issue unequal "
                 f"collective counts {counts} (rendezvous would hang)")
+
+    return findings
+
+
+def lint_op_graph(graph: "OpGraph") -> List[str]:
+    """Check a frontend op graph for structural and costing hazards.
+
+    Works on deferred graphs (``OpGraph(..., validate=False)``) so every
+    problem is reported, not just the first one an exception would hit.
+    """
+    from repro.frontend.ir import FrontendError, OpKind, attention_flops, matmul_flops
+
+    findings: List[str] = []
+    seen: set = set()
+    ids = {op.op_id for op in graph.ops}
+
+    for op in graph.ops:
+        label = f"op {op.op_id} ({op.name!r})"
+        try:
+            op.validate()
+        except FrontendError as exc:
+            findings.append(str(exc))
+        if op.op_id in seen:
+            findings.append(f"duplicate op id {op.op_id} in graph "
+                            f"{graph.name!r}")
+        seen.add(op.op_id)
+        for dep in op.deps:
+            if dep not in ids:
+                findings.append(f"{label} depends on unknown op {dep}")
+        if (op.flops <= 0 and op.param_bytes <= 0 and op.output_bytes <= 0
+                and not op.routed):
+            findings.append(f"{label} contributes no cost (zero flops, "
+                            "params, and output)")
+        attrs = op.attrs or {}
+        if op.kind is OpKind.MATMUL and {"m", "k", "n"} <= attrs.keys():
+            expected = matmul_flops(attrs["m"], attrs["k"], attrs["n"])
+            if op.flops and op.flops != expected:
+                findings.append(
+                    f"{label}: flops {op.flops} does not match its "
+                    f"m/k/n shape attrs ({expected})")
+        if (op.kind is OpKind.ATTENTION
+                and {"batch", "seq", "hidden"} <= attrs.keys()):
+            expected = attention_flops(attrs["batch"], attrs["seq"],
+                                       attrs["hidden"])
+            if op.flops and op.flops != expected:
+                findings.append(
+                    f"{label}: flops {op.flops} does not match its "
+                    f"batch/seq/hidden shape attrs ({expected})")
+        if op.tp != "none" and op.kind in (OpKind.NORM, OpKind.ELEMENTWISE):
+            findings.append(
+                f"{label}: {op.kind.value} ops are replicated, not "
+                f"tensor-parallel (tp={op.tp!r})")
+
+    # Cycle check over the well-formed subset (Kahn's algorithm).
+    indegree = {op.op_id: sum(1 for d in op.deps if d in ids and d != op.op_id)
+                for op in graph.ops}
+    children: Dict[int, List[int]] = {}
+    for op in graph.ops:
+        for dep in op.deps:
+            if dep in ids and dep != op.op_id:
+                children.setdefault(dep, []).append(op.op_id)
+    queue = [oid for oid, deg in indegree.items() if deg == 0]
+    visited = 0
+    while queue:
+        oid = queue.pop()
+        visited += 1
+        for child in children.get(oid, ()):
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                queue.append(child)
+    if visited != len(ids):
+        cyclic = sorted(oid for oid, deg in indegree.items() if deg > 0)
+        findings.append(
+            f"graph {graph.name!r} contains a cycle involving ops "
+            f"{cyclic[:10]}")
 
     return findings
 

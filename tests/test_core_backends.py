@@ -37,15 +37,19 @@ class TestBackendSelection:
         with pytest.raises(ValueError):
             SystemConfig(topology=topo, network_backend="ns3")
 
-    def test_collectives_rejected_on_garnet(self):
+    def test_collectives_lowered_to_sendrecv_on_garnet(self):
+        """Collective nodes run on packet backends via the send/recv
+        executor (ring algorithm for a Ring dim) instead of raising."""
         topo = parse_topology("Ring(4)", [100])
         trace = ExecutionTrace(0, [
-            ETNode(0, NodeType.COMM_COLLECTIVE, tensor_bytes=100,
+            ETNode(0, NodeType.COMM_COLLECTIVE, tensor_bytes=1 << 20,
                    collective=CollectiveType.ALL_REDUCE),
         ])
-        sim = Simulator({0: trace}, _config(topo, "garnet"))
-        with pytest.raises(ValueError, match="analytical"):
-            sim.run()
+        result = Simulator({0: trace}, _config(topo, "garnet")).run()
+        assert result.nodes_executed == 1
+        assert result.total_time_ns > 0
+        assert len(result.collectives) == 1
+        assert result.collectives[0].group_size == 4
 
     def test_pipeline_runs_on_all_backends_and_agrees(self):
         """Pure p2p workloads cross-validate: the packet and flow backends

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.trace import CollectiveType, NodeType, TensorLocation, TraceValidationError
+from repro.trace import (
+    CollectiveType,
+    NodeType,
+    TensorLocation,
+    TraceValidationError,
+    dumps_trace,
+    loads_trace,
+)
 from repro.trace.converters import convert_flexflow_taskgraph, convert_pytorch_eg
 
 
@@ -192,5 +199,181 @@ class TestFlexFlowEdgeCases:
             "tasks": [{"task_id": 0, "kind": "load", "deps": [], "bytes": 4,
                        "location": "the-moon"}],
         }
-        with pytest.raises(ValueError):
+        with pytest.raises(TraceValidationError, match="location"):
+            convert_flexflow_taskgraph(payload)
+
+
+def _node_fields(node):
+    return (node.node_id, node.node_type, node.name, node.deps,
+            node.tensor_bytes, node.flops, node.peer, node.tag,
+            node.collective, node.comm_dims, node.location)
+
+
+class TestConverterRoundTrip:
+    """Converted traces survive ET JSON serialization unchanged."""
+
+    def test_pytorch_eg_round_trip(self):
+        trace = convert_pytorch_eg(_pytorch_payload())
+        restored = loads_trace(dumps_trace(trace))
+        assert restored.npu_id == trace.npu_id
+        assert len(restored) == len(trace)
+        for node in trace:
+            assert _node_fields(restored.node(node.node_id)) == \
+                _node_fields(node)
+
+    def test_flexflow_round_trip(self):
+        payload = {
+            "schema": "flexflow-taskgraph", "device": 3,
+            "tasks": [
+                {"task_id": 0, "kind": "task", "name": "linear", "deps": [],
+                 "flops": 500, "bytes": 32},
+                {"task_id": 1, "kind": "alltoall", "deps": [0], "bytes": 64,
+                 "comm_dims": [0, 1]},
+                {"task_id": 2, "kind": "send", "deps": [1], "bytes": 8,
+                 "peer": 5, "tag": 9},
+                {"task_id": 3, "kind": "store", "deps": [2], "bytes": 16,
+                 "location": "remote"},
+            ],
+        }
+        trace = convert_flexflow_taskgraph(payload)
+        restored = loads_trace(dumps_trace(trace))
+        assert restored.npu_id == trace.npu_id
+        for node in trace:
+            assert _node_fields(restored.node(node.node_id)) == \
+                _node_fields(node)
+
+
+class TestPyTorchMalformedInputs:
+    """Malformed/truncated documents get structured errors, not KeyErrors."""
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(TraceValidationError, match="object"):
+            convert_pytorch_eg(["not", "a", "dict"])
+
+    def test_nodes_must_be_a_list(self):
+        with pytest.raises(TraceValidationError, match="list"):
+            convert_pytorch_eg({"schema": "pytorch-eg", "nodes": {"id": 1}})
+
+    def test_missing_node_id_rejected(self):
+        payload = {
+            "schema": "pytorch-eg", "rank": 0,
+            "nodes": [{"name": "aten::mm", "inputs": [], "outputs": [],
+                       "flops": 10}],
+        }
+        with pytest.raises(TraceValidationError, match="no 'id'"):
+            convert_pytorch_eg(payload)
+
+    def test_non_integer_node_id_rejected(self):
+        payload = {
+            "schema": "pytorch-eg", "rank": 0,
+            "nodes": [{"id": "n1", "name": "aten::mm", "inputs": [],
+                       "outputs": [], "flops": 10}],
+        }
+        with pytest.raises(TraceValidationError, match="integer"):
+            convert_pytorch_eg(payload)
+
+    def test_non_dict_node_rejected(self):
+        payload = {"schema": "pytorch-eg", "rank": 0, "nodes": [42]}
+        with pytest.raises(TraceValidationError, match="not an object"):
+            convert_pytorch_eg(payload)
+
+    def test_bad_rank_rejected(self):
+        payload = {"schema": "pytorch-eg", "rank": "three", "nodes": []}
+        with pytest.raises(TraceValidationError, match="rank"):
+            convert_pytorch_eg(payload)
+
+    def test_non_integer_peer_rejected(self):
+        payload = {
+            "schema": "pytorch-eg", "rank": 0,
+            "nodes": [{"id": 1, "name": "nccl:send", "inputs": [],
+                       "outputs": [], "tensor_bytes": 8, "peer": "gpu5"}],
+        }
+        with pytest.raises(TraceValidationError, match="peer"):
+            convert_pytorch_eg(payload)
+
+    def test_bad_location_rejected(self):
+        payload = {
+            "schema": "pytorch-eg", "rank": 0,
+            "nodes": [{"id": 1, "name": "aten::copy_", "inputs": [],
+                       "outputs": [], "tensor_bytes": 8,
+                       "location": "mars"}],
+        }
+        with pytest.raises(TraceValidationError, match="location"):
+            convert_pytorch_eg(payload)
+
+    def test_inputs_must_be_a_list(self):
+        payload = {
+            "schema": "pytorch-eg", "rank": 0,
+            "nodes": [{"id": 1, "name": "aten::mm", "inputs": 100,
+                       "outputs": [], "flops": 10}],
+        }
+        with pytest.raises(TraceValidationError, match="inputs"):
+            convert_pytorch_eg(payload)
+
+    def test_truncated_document_with_dangling_ctrl_dep(self):
+        # The document was cut after node 1; node 2's ctrl_dep points at
+        # a node that no longer exists.
+        payload = {
+            "schema": "pytorch-eg", "rank": 0,
+            "nodes": [{"id": 2, "name": "aten::mm", "inputs": [],
+                       "outputs": [], "flops": 10, "ctrl_deps": [1]}],
+        }
+        with pytest.raises(TraceValidationError):
+            convert_pytorch_eg(payload)
+
+
+class TestFlexFlowMalformedInputs:
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(TraceValidationError, match="object"):
+            convert_flexflow_taskgraph("schema: flexflow-taskgraph")
+
+    def test_tasks_must_be_a_list(self):
+        with pytest.raises(TraceValidationError, match="list"):
+            convert_flexflow_taskgraph(
+                {"schema": "flexflow-taskgraph", "tasks": "oops"})
+
+    def test_missing_task_id_rejected(self):
+        payload = {
+            "schema": "flexflow-taskgraph", "device": 0,
+            "tasks": [{"kind": "task", "name": "linear", "deps": []}],
+        }
+        with pytest.raises(TraceValidationError, match="task_id"):
+            convert_flexflow_taskgraph(payload)
+
+    def test_non_dict_task_rejected(self):
+        payload = {"schema": "flexflow-taskgraph", "tasks": [[0, "task"]]}
+        with pytest.raises(TraceValidationError, match="not an object"):
+            convert_flexflow_taskgraph(payload)
+
+    def test_bad_device_rejected(self):
+        payload = {"schema": "flexflow-taskgraph", "device": None,
+                   "tasks": []}
+        with pytest.raises(TraceValidationError, match="device"):
+            convert_flexflow_taskgraph(payload)
+
+    def test_send_without_peer_rejected(self):
+        payload = {
+            "schema": "flexflow-taskgraph", "device": 0,
+            "tasks": [{"task_id": 0, "kind": "send", "deps": [],
+                       "bytes": 8}],
+        }
+        with pytest.raises(TraceValidationError, match="peer"):
+            convert_flexflow_taskgraph(payload)
+
+    def test_deps_must_be_a_list(self):
+        payload = {
+            "schema": "flexflow-taskgraph", "device": 0,
+            "tasks": [{"task_id": 0, "kind": "task", "deps": 7}],
+        }
+        with pytest.raises(TraceValidationError, match="deps"):
+            convert_flexflow_taskgraph(payload)
+
+    def test_truncated_document_with_dangling_dep(self):
+        # Task 0 was cut off; task 1 still depends on it.
+        payload = {
+            "schema": "flexflow-taskgraph", "device": 0,
+            "tasks": [{"task_id": 1, "kind": "task", "deps": [0],
+                       "flops": 10}],
+        }
+        with pytest.raises(TraceValidationError):
             convert_flexflow_taskgraph(payload)

@@ -45,7 +45,8 @@ class TestValidateCommand:
                      "--report-out", str(path)])
         assert code == 0
         doc = json.loads(path.read_text())
-        assert doc["suites"] == ["invariants", "metamorphic", "conformance"]
+        assert doc["suites"] == ["invariants", "metamorphic", "conformance",
+                                 "frontend"]
         assert doc["invariants"]["ok"] is True
         assert doc["metamorphic"]["passed"] is True
         assert doc["conformance"]["passed"] is True

@@ -14,7 +14,9 @@ from repro.workload import (
     dlrm_paper,
     moe_1t,
 )
-from repro.workload.lint import lint_traces
+from repro.frontend import zoo_graph, zoo_names
+from repro.frontend.ir import OpGraph, OpKind, OpNode, matmul_flops
+from repro.workload.lint import lint_op_graph, lint_traces
 from repro.workload.models import TransformerSpec
 
 
@@ -101,3 +103,73 @@ class TestFindings:
         t0 = ExecutionTrace(99, [ETNode(0, NodeType.COMPUTE, flops=1)])
         findings = lint_traces({99: t0}, _topo())
         assert any("does not exist" in f for f in findings)
+
+
+def _dirty_graph(ops):
+    """Build an op graph without validation so the linter sees the mess."""
+    return OpGraph("dirty", ops, validate=False)
+
+
+class TestOpGraphLint:
+    @pytest.mark.parametrize("name", sorted(zoo_names()))
+    def test_zoo_graphs_are_clean(self, name):
+        assert lint_op_graph(zoo_graph(name)) == []
+
+    def test_dangling_dep(self):
+        findings = lint_op_graph(_dirty_graph([
+            OpNode(0, "a", OpKind.MATMUL, deps=(7,), flops=10)]))
+        assert any("unknown op 7" in f for f in findings)
+
+    def test_duplicate_ids(self):
+        findings = lint_op_graph(_dirty_graph([
+            OpNode(0, "a", OpKind.MATMUL, flops=10),
+            OpNode(0, "b", OpKind.MATMUL, flops=10)]))
+        assert any("duplicate op id 0" in f for f in findings)
+
+    def test_zero_cost_op(self):
+        findings = lint_op_graph(_dirty_graph([
+            OpNode(0, "noop", OpKind.ELEMENTWISE)]))
+        assert any("contributes no cost" in f for f in findings)
+
+    def test_routed_op_with_payload_is_not_zero_cost(self):
+        graph = _dirty_graph([
+            OpNode(0, "expert", OpKind.MATMUL, routed=True,
+                   route_bytes=1024)])
+        assert lint_op_graph(graph) == []
+
+    def test_matmul_shape_mismatch(self):
+        findings = lint_op_graph(_dirty_graph([
+            OpNode(0, "mm", OpKind.MATMUL, flops=999,
+                   attrs={"m": 4, "k": 8, "n": 16})]))
+        assert any("does not match its m/k/n" in f for f in findings)
+        clean = _dirty_graph([
+            OpNode(0, "mm", OpKind.MATMUL, flops=matmul_flops(4, 8, 16),
+                   attrs={"m": 4, "k": 8, "n": 16})])
+        assert lint_op_graph(clean) == []
+
+    def test_attention_shape_mismatch(self):
+        findings = lint_op_graph(_dirty_graph([
+            OpNode(0, "attn", OpKind.ATTENTION, flops=5,
+                   attrs={"batch": 2, "seq": 16, "hidden": 64})]))
+        assert any("batch/seq/hidden" in f for f in findings)
+
+    def test_tp_on_replicated_kind(self):
+        findings = lint_op_graph(_dirty_graph([
+            OpNode(0, "ln", OpKind.NORM, param_bytes=8, tp="col")]))
+        assert any("replicated, not" in f for f in findings)
+
+    def test_cycle_reported(self):
+        findings = lint_op_graph(_dirty_graph([
+            OpNode(0, "a", OpKind.MATMUL, deps=(1,), flops=10),
+            OpNode(1, "b", OpKind.MATMUL, deps=(0,), flops=10)]))
+        assert any("cycle" in f for f in findings)
+
+    def test_per_op_validate_errors_are_findings(self):
+        # self-dep + negative flops + routed without payload, all reported
+        findings = lint_op_graph(_dirty_graph([
+            OpNode(0, "self", OpKind.MATMUL, deps=(0,), flops=10),
+            OpNode(1, "neg", OpKind.MATMUL, flops=-5),
+            OpNode(2, "router", OpKind.MATMUL, flops=10, routed=True)]))
+        assert any("depends on itself" in f for f in findings)
+        assert any("must be >= 0" in f for f in findings)
+        assert any("no route_bytes" in f for f in findings)
