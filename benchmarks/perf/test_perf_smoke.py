@@ -114,13 +114,25 @@ def test_invariant_overhead_gate():
     assert report["overhead"] < INVARIANT_OVERHEAD_BUDGET, report
 
 
-def test_campaign_gates():
-    """Sweep engine: bit-identical across execution modes, fast cache.
+# On a single CPU no pool can beat serial, so the absolute speedup floor
+# is only a catastrophic backstop, asserted on the committed full-size
+# baseline where dispatch overhead is amortised over 16 real points (it
+# measures ~0.6 there; the old cold-spawn fan-out bottomed out at 0.34).
+# The *relative* gate — warm fleet at least as fast as cold spawn — is
+# the real regression check and holds at any core count and any size.
+PARALLEL_SPEEDUP_FLOOR_1CPU = 0.3
 
-    The pool speedup itself is only asserted when the runner has the
-    cores to show one — CI containers may be pinned to a single CPU,
-    where a spawn pool can only add overhead.  Determinism and cache
-    gates hold everywhere.
+
+def test_campaign_gates():
+    """Sweep engine: bit-identical across execution modes, fast fan-out.
+
+    The headline pool gate — warm-fleet fan-out strictly faster than
+    serial — is asserted whenever the runner has at least a second core
+    to fan out onto; a 1-core container physically cannot beat serial
+    (the workers time-slice one CPU), so there the gates are the
+    unconditional ones: bit-identical merges, warm fleet at least as
+    fast as the legacy cold-spawn pool, and the catastrophic-regression
+    speedup backstop.
     """
     report = bench_campaign(quick=True)
     assert report["bit_identical"], report
@@ -128,8 +140,14 @@ def test_campaign_gates():
     assert report["warm_cache_speedup"] >= WARM_CACHE_SPEEDUP_FLOOR, report
     assert report["warm_cache_counters"] == {
         "hits": report["points"], "misses": 0, "corrupted": 0}, report
-    if report["cpus"] >= 4:
-        assert report["parallel_speedup"] >= 1.2, report
+    # Warm fleet beats the legacy cold-spawn pool everywhere (it skips
+    # worker start-up and per-point dispatch; core count is irrelevant).
+    # No absolute speedup floor at quick size: 4 points of ~0.1 s each
+    # on a 1-CPU runner put fixed dispatch overhead in charge of the
+    # ratio, which makes any absolute threshold a coin flip.
+    assert report["parallel_wall_s"] <= report["cold_spawn_wall_s"], report
+    if report["cpus"] >= 2:
+        assert report["parallel_speedup"] > 1.0, report
 
 
 def test_committed_baseline_is_fresh_and_complete():
@@ -153,3 +171,12 @@ def test_committed_baseline_is_fresh_and_complete():
     assert campaign["bit_identical"] is True
     assert campaign["errors"] == 0
     assert campaign["warm_cache_speedup"] >= WARM_CACHE_SPEEDUP_FLOOR
+    # The committed baseline must carry the warm-fleet measurements and
+    # must not have regressed to the cold-spawn fan-out it replaced.
+    for key in ("cold_spawn_wall_s", "parallel_wall_s",
+                "warm_vs_cold_spawn_speedup", "start_method", "cpus"):
+        assert key in campaign, f"campaign baseline missing {key!r}"
+    assert campaign["parallel_wall_s"] <= campaign["cold_spawn_wall_s"]
+    assert campaign["parallel_speedup"] >= PARALLEL_SPEEDUP_FLOOR_1CPU
+    if campaign["cpus"] >= 2:
+        assert campaign["parallel_speedup"] > 1.0, campaign

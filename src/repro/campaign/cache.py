@@ -8,14 +8,17 @@ fingerprint)``:
   configuration changes, so two different configurations can never share
   an entry;
 - the *code fingerprint* hashes the source of every module in the
-  ``repro`` package, so editing the simulator invalidates every cached
-  result without any manual versioning.
+  ``repro`` package — including every subpackage that prices results,
+  such as :mod:`repro.frontend`'s planner/costing code — so editing the
+  simulator invalidates every cached result without manual versioning.
 
 Entries are one JSON file each under ``<dir>/<key[:2]>/<key>.json`` and
 are written atomically (tmp + rename).  A corrupted or mismatched entry
 is treated as a miss — the point is re-simulated and the entry
 overwritten — so a half-written or hand-edited cache can never poison a
-campaign.
+campaign.  The cache is safe to share across threads (the serve daemon
+uses one instance as its cross-client dedup store) and across processes
+(atomic per-pid/per-thread tmp names).
 """
 
 from __future__ import annotations
@@ -23,8 +26,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.campaign.spec import canonical_json
 
@@ -33,26 +37,51 @@ CACHE_SCHEMA_VERSION = 1
 _fingerprint_cache: Optional[str] = None
 
 
-def code_fingerprint() -> str:
-    """Hash of every ``repro`` source file's contents (hex digest).
+def fingerprint_sources(package_root: Optional[Path] = None) -> List[Path]:
+    """Every source file that participates in the code fingerprint.
 
-    Computed once per process; deliberately content-based (not
-    mtime-based) so re-checkouts and touched-but-unchanged files keep
-    their cache warm while any real code change invalidates it.
+    All ``*.py`` files under the ``repro`` package root, recursively —
+    the flat core, and every subpackage (``frontend``, ``validate``,
+    ``campaign``, …).  Exposed separately so tests can assert coverage
+    (a subpackage silently missing from the fingerprint would serve
+    stale cached results after its code changes).
     """
-    global _fingerprint_cache
-    if _fingerprint_cache is None:
+    if package_root is None:
         import repro
 
         package_root = Path(repro.__file__).resolve().parent
-        digest = hashlib.sha256()
-        for path in sorted(package_root.rglob("*.py")):
-            digest.update(str(path.relative_to(package_root)).encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-            digest.update(b"\0")
+    return sorted(Path(package_root).rglob("*.py"))
+
+
+def code_fingerprint(package_root: Optional[Path] = None) -> str:
+    """Hash of every ``repro`` source file's contents (hex digest).
+
+    Computed once per process for the installed package; deliberately
+    content-based (not mtime-based) so re-checkouts and touched-but-
+    unchanged files keep their cache warm while any real code change —
+    anywhere in the package, frontend planner included — invalidates it.
+    ``package_root`` overrides the hashed tree (uncached; regression
+    tests fingerprint modified copies of the package).
+    """
+    global _fingerprint_cache
+    if package_root is None and _fingerprint_cache is not None:
+        return _fingerprint_cache
+    if package_root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    else:
+        root = Path(package_root)
+    digest = hashlib.sha256()
+    for path in fingerprint_sources(root):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    if package_root is None:
         _fingerprint_cache = digest.hexdigest()
-    return _fingerprint_cache
+        return _fingerprint_cache
+    return digest.hexdigest()
 
 
 class RunCache:
@@ -66,6 +95,7 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.corrupted = 0
+        self._lock = threading.Lock()
 
     def key(self, point: Mapping[str, Any]) -> str:
         payload = canonical_json(dict(point)) + "\n" + self.fingerprint
@@ -73,6 +103,13 @@ class RunCache:
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / key[:2] / (key + ".json")
+
+    def _count(self, hit: bool = False, miss: bool = False,
+               corrupt: bool = False) -> None:
+        with self._lock:
+            self.hits += hit
+            self.misses += miss
+            self.corrupted += corrupt
 
     def get(self, point: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
         """The cached result payload for ``point``, or None on a miss.
@@ -86,20 +123,18 @@ class RunCache:
         try:
             entry = json.loads(path.read_text())
         except FileNotFoundError:
-            self.misses += 1
+            self._count(miss=True)
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self.corrupted += 1
-            self.misses += 1
+            self._count(miss=True, corrupt=True)
             return None
         if (not isinstance(entry, dict)
                 or entry.get("schema_version") != CACHE_SCHEMA_VERSION
                 or entry.get("key") != key
                 or "result" not in entry):
-            self.corrupted += 1
-            self.misses += 1
+            self._count(miss=True, corrupt=True)
             return None
-        self.hits += 1
+        self._count(hit=True)
         return entry["result"]
 
     def put(self, point: Mapping[str, Any], result: Dict[str, Any]) -> str:
@@ -114,11 +149,13 @@ class RunCache:
             "config": dict(point),
             "result": result,
         }
-        tmp = path.with_suffix(".tmp.%d" % os.getpid())
+        tmp = path.with_suffix(
+            ".tmp.%d.%d" % (os.getpid(), threading.get_ident()))
         tmp.write_text(json.dumps(entry, sort_keys=True))
         os.replace(tmp, path)
         return key
 
     def counters(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses,
-                "corrupted": self.corrupted}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "corrupted": self.corrupted}

@@ -1,0 +1,292 @@
+"""Persistent warm worker pools for campaign fan-out.
+
+PR 4's process-pool fan-out lost to serial execution (BENCH_perf.json
+recorded ``parallel_speedup: 0.42`` at ``jobs=4``) for three reasons:
+every sweep built a fresh ``spawn`` pool whose workers re-imported the
+entire package, every point crossed the pipe as its own task, and every
+task shipped the fully-resolved ~30-field config.  This module fixes the
+cost model:
+
+- **Warm workers** — the pool prefers the ``forkserver`` start method
+  and preloads :mod:`repro.campaign._preload` into the fork server, so
+  each worker forks already holding a fully-imported simulator; on
+  platforms without ``forkserver`` the ``spawn`` fallback pays the
+  import once per worker *lifetime* via the pool initializer.
+- **Persistent fleets** — :func:`get_shared_pool` hands out one
+  process-wide :class:`WarmPool` that survives across sweeps (and
+  across HTTP requests in ``repro serve``), so steady-state fan-out
+  never pays worker start-up again.
+- **Batched dispatch** — :func:`run_batch` executes a *chunk* of points
+  per task instead of one future per point.
+- **Base-config broadcast** — :func:`split_common_base` factors the
+  fields shared by every pending point into one base dict sent once per
+  task; each point ships only its per-point overrides.
+
+Crash containment: a worker death breaks the underlying
+:class:`~concurrent.futures.ProcessPoolExecutor`; :meth:`WarmPool.restart`
+replaces it (idempotently per generation) so the campaign runner can
+retry the affected points on a fresh fleet instead of hanging or
+poisoning later sweeps.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+import traceback as _traceback
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+#: Modules imported into the forkserver parent before the first fork, so
+#: every forked worker starts warm (see repro/campaign/_preload.py).
+PRELOAD_MODULES = ("repro.campaign._preload",)
+
+
+def pick_start_method() -> str:
+    """``forkserver`` where the platform offers it, else ``spawn``.
+
+    ``fork`` is deliberately not used even where available: the pool is
+    shared with the threaded ``repro serve`` daemon, and forking a
+    threaded parent is unsafe.  ``forkserver`` forks from a clean,
+    single-threaded server process instead.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return "forkserver" if "forkserver" in methods else "spawn"
+
+
+def warm_worker() -> None:
+    """Pool initializer: runs once per worker process, imports the world."""
+    import repro.campaign._preload  # noqa: F401
+
+
+def error_record(exc: BaseException) -> Dict[str, Any]:
+    """The structured per-point error payload (type, message, traceback)."""
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(_traceback.format_exception(
+            type(exc), exc, exc.__traceback__)),
+    }
+
+
+def split_common_base(
+    points: Sequence[Mapping[str, Any]],
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Factor the fields identical across every point into a shared base.
+
+    Returns ``(base, overrides)`` where ``{**base, **overrides[i]}``
+    reconstructs ``points[i]`` exactly.  For a typical sweep (two or
+    three varying axes over a ~30-field resolved config) this shrinks
+    the per-task payload by an order of magnitude — the base crosses the
+    pipe once per *task*, not once per point.
+    """
+    from repro.campaign.spec import canonical_json
+
+    if not points:
+        return {}, []
+    base: Dict[str, Any] = {}
+    for key, value in points[0].items():
+        token = canonical_json(value)
+        if all(key in p and canonical_json(p[key]) == token
+               for p in points[1:]):
+            base[key] = value
+    overrides = [{k: v for k, v in p.items() if k not in base}
+                 for p in points]
+    return base, overrides
+
+
+def run_batch(
+    executor: Callable[[Mapping[str, Any]], Dict[str, Any]],
+    base: Mapping[str, Any],
+    items: Sequence[Tuple[int, Mapping[str, Any]]],
+) -> List[Tuple[int, Dict[str, Any]]]:
+    """Worker entry point: execute a chunk of ``(index, overrides)`` points.
+
+    Reconstructs each point from the broadcast base, runs it, and
+    returns ``(index, outcome)`` pairs.  Per-point simulation failures
+    become structured error outcomes; only process death escapes (and is
+    handled by the caller's broken-pool recovery).
+    """
+    out: List[Tuple[int, Dict[str, Any]]] = []
+    for index, overrides in items:
+        point = dict(base)
+        point.update(overrides)
+        try:
+            out.append((index, {"ok": True, "result": executor(point)}))
+        except (Exception, SystemExit) as exc:  # noqa: BLE001 - error record
+            out.append((index, {"ok": False, "error": error_record(exc)}))
+    return out
+
+
+def _worker_ident(settle_s: float) -> int:
+    """Warm-up probe: settle briefly so probes spread across workers."""
+    if settle_s > 0:
+        time.sleep(settle_s)
+    return os.getpid()
+
+
+def plan_batches(pending: Sequence[int], workers: int,
+                 batch_size: int = 0) -> List[List[int]]:
+    """Chunk pending point indices into per-task batches.
+
+    ``batch_size=0`` (auto) targets about two tasks per worker: large
+    enough to amortise dispatch, small enough that a straggler batch
+    cannot idle the rest of the fleet.
+    """
+    if not pending:
+        return []
+    if batch_size <= 0:
+        batch_size = max(1, -(-len(pending) // (max(workers, 1) * 2)))
+    return [list(pending[i:i + batch_size])
+            for i in range(0, len(pending), batch_size)]
+
+
+class WarmPool:
+    """A persistent process pool whose workers pre-import the simulator.
+
+    The underlying executor is created lazily on first submit and
+    survives until :meth:`shutdown` — submitting work from several
+    sweeps (or several server threads) reuses the same warm workers.
+    ``restart`` replaces a broken executor without losing the pool
+    object, so holders of a shared pool never see a stale handle.
+    """
+
+    def __init__(self, workers: int,
+                 start_method: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.start_method = start_method or pick_start_method()
+        self.generation = 0
+        self.restarts = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._shutdown = False
+        self._lock = threading.RLock()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        context = multiprocessing.get_context(self.start_method)
+        if self.start_method == "forkserver":
+            # Must be set before the fork server launches; a context is
+            # cheap and per-pool, so this never fights other users.
+            context.set_forkserver_preload(list(PRELOAD_MODULES))
+        return ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=context,
+            initializer=warm_worker)
+
+    @property
+    def alive(self) -> bool:
+        return not self._shutdown
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes currently exist (lazily created)."""
+        return self._executor is not None
+
+    def submit(self, fn: Callable, *args: Any) -> Future:
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("pool has been shut down")
+            if self._executor is None:
+                self._executor = self._make_executor()
+            return self._executor.submit(fn, *args)
+
+    def restart(self, generation: Optional[int] = None) -> bool:
+        """Replace the executor after a worker crash.
+
+        Idempotent per generation: when one crash breaks many in-flight
+        futures, only the first ``restart(gen)`` call rebuilds the
+        executor; latecomers carrying the stale generation are no-ops.
+        Returns whether a restart actually happened.
+        """
+        with self._lock:
+            if self._shutdown:
+                return False
+            if generation is not None and generation != self.generation:
+                return False
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self.generation += 1
+            self.restarts += 1
+            return True
+
+    def resize(self, workers: int) -> None:
+        """Grow the fleet (never shrinks; a live sweep keeps its workers)."""
+        with self._lock:
+            if workers <= self.workers or self._shutdown:
+                return
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=False)
+                self._executor = None
+                self.generation += 1
+            self.workers = workers
+
+    def shutdown(self, wait: bool = False) -> None:
+        with self._lock:
+            self._shutdown = True
+            if self._executor is not None:
+                self._executor.shutdown(wait=wait, cancel_futures=True)
+                self._executor = None
+
+    # -- warm-up -----------------------------------------------------------------
+
+    def warm_up(self, settle_s: float = 0.05) -> Set[int]:
+        """Force worker creation + imports; returns the worker PIDs seen.
+
+        Submits one settling probe per worker so the fleet is fully
+        imported before real traffic arrives (the ``repro serve`` start
+        path, and the perf harness' steady-state measurement).
+        """
+        futures = [self.submit(_worker_ident, settle_s)
+                   for _ in range(self.workers)]
+        return {future.result() for future in futures}
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "start_method": self.start_method,
+            "started": self.started,
+            "generation": self.generation,
+            "restarts": self.restarts,
+        }
+
+
+# -- the process-wide shared fleet -----------------------------------------------
+
+_shared: Optional[WarmPool] = None
+_shared_lock = threading.Lock()
+
+
+def get_shared_pool(workers: int,
+                    start_method: Optional[str] = None) -> WarmPool:
+    """The process-wide warm fleet, grown to at least ``workers`` workers.
+
+    Sweeps within one process (CLI invocations of several specs, every
+    request the serve daemon handles) share these workers, which is what
+    amortises worker start-up to zero in steady state.
+    """
+    global _shared
+    with _shared_lock:
+        if _shared is None or not _shared.alive:
+            _shared = WarmPool(workers, start_method)
+        elif _shared.workers < workers:
+            _shared.resize(workers)
+        return _shared
+
+
+def shutdown_shared_pool(wait: bool = False) -> None:
+    """Tear down the shared fleet (KeyboardInterrupt, server exit, tests)."""
+    global _shared
+    with _shared_lock:
+        if _shared is not None:
+            _shared.shutdown(wait=wait)
+            _shared = None
+
+
+def shared_pool_stats() -> Optional[Dict[str, Any]]:
+    with _shared_lock:
+        return _shared.stats() if _shared is not None else None

@@ -1,4 +1,4 @@
-"""Parallel campaign execution: process-pool fan-out with spec-order merge.
+"""Parallel campaign execution: warm-worker fan-out with spec-order merge.
 
 A :class:`CampaignRunner` takes a :class:`~repro.campaign.spec.SweepSpec`,
 expands it, and executes every point through an *executor* — by default
@@ -9,13 +9,23 @@ point is exactly a CLI invocation.
 Execution contract:
 
 - ``jobs=0`` runs serially in-process; ``jobs>=1`` fans out over a
-  ``spawn`` :class:`~concurrent.futures.ProcessPoolExecutor`.  Results
-  are merged back **in spec order**, and each point's payload is a
-  schema-v2 ``result_to_dict`` document, so the merged output is
-  bit-identical regardless of worker count or completion order.
+  persistent **warm** worker fleet (:mod:`repro.campaign.pool`):
+  pre-imported workers reused across sweeps, points dispatched in
+  batches, and the fields common to every point broadcast once per task
+  instead of once per point.  Results are merged back **in spec
+  order**, and each point's payload is a schema-v2 ``result_to_dict``
+  document, so the merged output is bit-identical regardless of worker
+  count, batch size, worker reuse, or completion order.
+- :meth:`CampaignRunner.stream` yields merged point records
+  *incrementally* in spec order as they complete — the backbone of the
+  ``repro serve`` daemon's NDJSON sweep streaming; :meth:`CampaignRunner.run`
+  is the drive-to-completion wrapper around it.
 - A failed point becomes a structured error record (exception type,
   message, traceback, config) in the merged output instead of poisoning
-  the pool; ``fail_fast=True`` restores abort-on-first-error.
+  the pool; a *crashed worker* restarts the fleet and retries the
+  affected points before recording errors; ``fail_fast=True`` restores
+  abort-on-first-error; ``KeyboardInterrupt`` tears the fleet down
+  cleanly.
 - With a cache directory, results are looked up in (and written back
   to) a content-addressed :class:`~repro.campaign.cache.RunCache` keyed
   by canonical config JSON + code fingerprint; only cache misses are
@@ -25,13 +35,24 @@ Execution contract:
 
 from __future__ import annotations
 
-import traceback as _traceback
 from contextlib import redirect_stderr
 from dataclasses import dataclass, field
 from io import StringIO
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.campaign.cache import RunCache
+from repro.campaign.pool import error_record as _error_record
 from repro.campaign.spec import SweepSpec, SweepSpecError, canonical_json
 from repro.telemetry import MetricsRegistry
 
@@ -234,22 +255,21 @@ def base_point_from_args(args) -> Dict[str, Any]:
 # -- pool plumbing ---------------------------------------------------------------------
 
 
-def _error_record(exc: BaseException) -> Dict[str, Any]:
-    return {
-        "type": type(exc).__name__,
-        "message": str(exc),
-        "traceback": "".join(_traceback.format_exception(
-            type(exc), exc, exc.__traceback__)),
-    }
-
-
 def _pool_task(executor: Callable[[Mapping[str, Any]], Dict[str, Any]],
                point: Mapping[str, Any]) -> Dict[str, Any]:
-    """Top-level worker entry point (must be picklable by reference)."""
+    """Execute one point, converting failures to structured outcomes."""
     try:
         return {"ok": True, "result": executor(point)}
     except (Exception, SystemExit) as exc:  # noqa: BLE001 - error record
         return {"ok": False, "error": _error_record(exc)}
+
+
+def _wait_any(futures: Sequence) -> set:
+    """Block until at least one future completes (test seam for ^C paths)."""
+    from concurrent.futures import FIRST_COMPLETED, wait
+
+    done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+    return done
 
 
 def _resolve_executor(
@@ -276,6 +296,15 @@ def _resolve_executor(
 # -- the runner ------------------------------------------------------------------------
 
 
+#: Metrics describing *how* the campaign executed (batching, crash
+#: recovery) rather than what it computed.  Excluded from the merged
+#: document so identical sweeps dump byte-identical documents regardless
+#: of jobs count, batch size, or worker reuse; still readable on
+#: ``CampaignResult.telemetry`` for observability and tests.
+EXECUTION_METRICS = frozenset(
+    {"batches_dispatched", "worker_restarts", "points_retried"})
+
+
 @dataclass
 class CampaignResult:
     """Merged outcome of one campaign, in spec order."""
@@ -300,7 +329,8 @@ class CampaignResult:
             "schema_version": CAMPAIGN_SCHEMA_VERSION,
             "spec": self.spec.to_dict(),
             "points": [dict(p) for p in self.points],
-            "telemetry": {"metrics": self.telemetry.to_list()},
+            "telemetry": {"metrics": [m for m in self.telemetry.to_list()
+                                      if m["name"] not in EXECUTION_METRICS]},
         }
         if self.cache_counters is not None:
             doc["cache"] = dict(self.cache_counters)
@@ -336,8 +366,13 @@ def canonical_campaign_json(doc: Mapping[str, Any]) -> str:
     return canonical_json({"spec": doc["spec"], "points": points})
 
 
+#: A deterministically-crashing point gets this many fleet restarts
+#: before a structured error record is written instead.
+MAX_POINT_RETRIES = 2
+
+
 class CampaignRunner:
-    """Executes a sweep spec over a worker pool and a run cache."""
+    """Executes a sweep spec over a warm worker fleet and a run cache."""
 
     def __init__(
         self,
@@ -346,17 +381,55 @@ class CampaignRunner:
         fail_fast: bool = False,
         executor: Union[None, str,
                         Callable[[Mapping[str, Any]], Dict[str, Any]]] = None,
+        batch_size: int = 0,
+        warm: bool = True,
+        start_method: Optional[str] = None,
+        cache: Optional[RunCache] = None,
     ) -> None:
+        """``batch_size=0`` auto-sizes chunks (~2 tasks per worker).
+
+        ``warm=True`` (default) fans out over the process-wide shared
+        fleet from :func:`repro.campaign.pool.get_shared_pool`, reusing
+        warm workers across sweeps; ``warm=False`` builds a private pool
+        torn down when the campaign finishes (cold fan-out — mainly for
+        benchmarking the difference and isolating crash tests).
+        """
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
+        if batch_size < 0:
+            raise ValueError(f"batch_size must be >= 0, got {batch_size}")
         self.jobs = jobs
         self.fail_fast = fail_fast
         self.executor = _resolve_executor(executor)
-        self.cache = RunCache(cache_dir) if cache_dir else None
+        self.batch_size = batch_size
+        self.warm = warm
+        self.start_method = start_method
+        if cache is not None:
+            self.cache = cache
+        else:
+            self.cache = RunCache(cache_dir) if cache_dir else None
 
     # -- execution ---------------------------------------------------------------
 
     def run(self, spec: SweepSpec) -> CampaignResult:
+        """Execute the spec to completion; the merged result in spec order."""
+        stream = self.stream(spec)
+        while True:
+            try:
+                next(stream)
+            except StopIteration as stop:
+                return stop.value
+
+    def stream(self, spec: SweepSpec):
+        """Generator of merged point records, in spec order, as they finish.
+
+        Cached points stream immediately; executed points stream as soon
+        as every earlier-indexed point has streamed (the ordered merge
+        the campaign contract requires).  The generator's return value
+        (``StopIteration.value``) is the complete :class:`CampaignResult`
+        — ``run()`` and the serve daemon's NDJSON endpoint are both thin
+        consumers of this.
+        """
         points = spec.expand()
         normalize = getattr(self.executor, "normalize", None)
         if normalize is not None:
@@ -376,30 +449,43 @@ class CampaignRunner:
             else:
                 pending.append(index)
 
-        if self.jobs == 0:
-            outcomes: Dict[int, Dict[str, Any]] = {}
-            for index in pending:
-                outcome = _pool_task(self.executor, points[index])
-                outcomes[index] = outcome
+        if self.jobs == 0 or not pending:
+            outcome_iter = self._iter_serial(points, pending)
+        else:
+            outcome_iter = self._iter_pool(points, pending, metrics)
+
+        emitted = 0
+        try:
+            # Leading cached points stream before any execution happens.
+            while emitted < len(points) and merged[emitted] is not None:
+                result.points.append(merged[emitted])
+                yield merged[emitted]
+                emitted += 1
+            for index, outcome in outcome_iter:
+                record: Dict[str, Any] = {
+                    "index": index, "config": points[index], "cached": False,
+                    "result": None, "error": None,
+                }
+                if outcome["ok"]:
+                    record["result"] = outcome["result"]
+                    if self.cache is not None:
+                        self.cache.put(points[index], outcome["result"])
+                else:
+                    record["error"] = outcome["error"]
+                    metrics.counter("campaign", "points_failed").inc()
+                merged[index] = record
                 if self.fail_fast and not outcome["ok"]:
                     self._abort(index, outcome["error"], points[index])
-        else:
-            outcomes = self._run_pool(points, pending)
-
-        for index in pending:
-            outcome = outcomes[index]
-            record: Dict[str, Any] = {
-                "index": index, "config": points[index], "cached": False,
-                "result": None, "error": None,
-            }
-            if outcome["ok"]:
-                record["result"] = outcome["result"]
-                if self.cache is not None:
-                    self.cache.put(points[index], outcome["result"])
-            else:
-                record["error"] = outcome["error"]
-                metrics.counter("campaign", "points_failed").inc()
-            merged[index] = record
+                while emitted < len(points) and merged[emitted] is not None:
+                    result.points.append(merged[emitted])
+                    yield merged[emitted]
+                    emitted += 1
+        finally:
+            # Closing the stream mid-sweep (a disconnected HTTP client,
+            # fail-fast abort) must release pool resources promptly.
+            close = getattr(outcome_iter, "close", None)
+            if close is not None:
+                close()
 
         metrics.counter("campaign", "points_executed").inc(len(pending))
         if self.cache is not None:
@@ -409,7 +495,6 @@ class CampaignRunner:
             metrics.counter("campaign", "cache_misses").inc(counters["misses"])
             metrics.counter("campaign", "cache_corrupted").inc(
                 counters["corrupted"])
-        result.points = [record for record in merged if record is not None]
         return result
 
     def _abort(self, index: int, error: Mapping[str, Any],
@@ -418,43 +503,106 @@ class CampaignRunner:
             f"point {index} failed ({error['type']}: {error['message']}); "
             f"config {canonical_json(dict(point))}")
 
-    def _run_pool(
+    # -- serial path -------------------------------------------------------------
+
+    def _iter_serial(
         self, points: Sequence[Mapping[str, Any]], pending: Sequence[int],
-    ) -> Dict[int, Dict[str, Any]]:
-        """Fan pending points out over a spawn pool; returns outcomes.
+    ) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        for index in pending:
+            yield index, _pool_task(self.executor, points[index])
 
-        With ``fail_fast`` the first failed point cancels everything not
-        yet started and raises :class:`CampaignError`.
+    # -- warm-fleet path ---------------------------------------------------------
+
+    def _iter_pool(
+        self, points: Sequence[Mapping[str, Any]], pending: Sequence[int],
+        metrics: MetricsRegistry,
+    ) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        """Fan pending points out over the warm fleet in batches.
+
+        Yields ``(index, outcome)`` in completion order (the caller
+        re-orders).  A broken pool (worker crash) is restarted and the
+        affected points retried up to :data:`MAX_POINT_RETRIES` times as
+        singleton batches — isolating a crashing point from the innocent
+        points that shared its batch — before a structured error record
+        is emitted.  ``KeyboardInterrupt`` cancels outstanding batches
+        and tears the fleet down before re-raising.
         """
-        import multiprocessing
-        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures.process import BrokenProcessPool
 
-        outcomes: Dict[int, Dict[str, Any]] = {}
-        if not pending:
-            return outcomes
-        context = multiprocessing.get_context("spawn")
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=context) as pool:
-            futures = {
-                pool.submit(_pool_task, self.executor, points[index]): index
-                for index in pending
-            }
-            for future in as_completed(futures):
-                index = futures[future]
-                exc = future.exception()
-                if exc is not None:
-                    # The task wrapper catches simulation errors, so an
-                    # exception here means pool-level breakage (a worker
-                    # died, the payload would not pickle).  Record it so
-                    # one bad point cannot poison the campaign.
-                    outcomes[index] = {"ok": False,
-                                       "error": _error_record(exc)}
-                else:
-                    outcomes[index] = future.result()
-                if self.fail_fast and not outcomes[index]["ok"]:
-                    for other in futures:
-                        other.cancel()
-                    self._abort(index, outcomes[index]["error"],
-                                points[index])
-        return outcomes
+        from repro.campaign.pool import (
+            WarmPool,
+            get_shared_pool,
+            plan_batches,
+            run_batch,
+            shutdown_shared_pool,
+            split_common_base,
+        )
+
+        if self.warm:
+            pool = get_shared_pool(self.jobs, self.start_method)
+        else:
+            pool = WarmPool(min(self.jobs, len(pending)), self.start_method)
+        base, overrides = split_common_base([points[i] for i in pending])
+        by_index = dict(zip(pending, overrides))
+        batches = plan_batches(pending, min(pool.workers, len(pending)),
+                               self.batch_size)
+        metrics.counter("campaign", "batches_dispatched").inc(len(batches))
+
+        futures: Dict[Any, List[int]] = {}
+        generation = pool.generation
+
+        def submit(indices: List[int]) -> None:
+            items = [(i, by_index[i]) for i in indices]
+            futures[pool.submit(run_batch, self.executor, base,
+                                items)] = indices
+
+        retries: Dict[int, int] = {}
+        try:
+            for batch in batches:
+                submit(batch)
+            while futures:
+                for future in _wait_any(list(futures)):
+                    indices = futures.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        for index, outcome in future.result():
+                            yield index, outcome
+                        continue
+                    if isinstance(exc, BrokenProcessPool):
+                        # One worker death breaks every in-flight future.
+                        # Restart the fleet once (the generation guard
+                        # makes latecomers no-ops) and retry the affected
+                        # points in isolation.
+                        if pool.restart(generation):
+                            metrics.counter("campaign",
+                                            "worker_restarts").inc()
+                        generation = pool.generation
+                        for index in indices:
+                            attempts = retries.get(index, 0)
+                            if attempts >= MAX_POINT_RETRIES:
+                                yield index, {"ok": False,
+                                              "error": _error_record(exc)}
+                            else:
+                                retries[index] = attempts + 1
+                                metrics.counter("campaign",
+                                                "points_retried").inc()
+                                submit([index])
+                    else:
+                        # Pool-level failure that is not a crash (e.g. an
+                        # unpicklable payload): record and move on.
+                        for index in indices:
+                            yield index, {"ok": False,
+                                          "error": _error_record(exc)}
+        except KeyboardInterrupt:
+            for future in futures:
+                future.cancel()
+            if self.warm:
+                shutdown_shared_pool()
+            else:
+                pool.shutdown()
+            raise
+        finally:
+            for future in futures:
+                future.cancel()
+            if not self.warm:
+                pool.shutdown()

@@ -462,6 +462,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir or None,
         fail_fast=args.fail_fast,
+        batch_size=args.batch_size,
     )
     try:
         campaign = runner.run(spec)
@@ -494,6 +495,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         Path(args.csv_out).write_text(campaign_to_csv(doc))
         print(f"CSV table written to {args.csv_out}")
     return 1 if summary["errors"] else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.campaign.serve import ServeConfig, serve_forever
+
+    if args.jobs < 0:
+        raise SystemExit(f"error: --jobs must be >= 0, got {args.jobs}")
+    if args.queue_depth < 1:
+        raise SystemExit(
+            f"error: --queue-depth must be >= 1, got {args.queue_depth}")
+    return serve_forever(ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir or None,
+        queue_depth=args.queue_depth,
+        batch_size=args.batch_size,
+        quiet=False,
+    ))
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -821,6 +841,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", default="", metavar="DIR",
                        help="content-addressed run cache: re-running a "
                             "sweep only simulates changed points")
+    sweep.add_argument("--batch-size", type=int, default=0, metavar="N",
+                       help="points per worker task (0 = auto, about two "
+                            "tasks per worker); merged output is "
+                            "bit-identical at any batch size")
     sweep.add_argument("--fail-fast", action="store_true",
                        help="abort the campaign on the first failed point "
                             "instead of recording a structured error")
@@ -829,6 +853,31 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv-out", default="", metavar="PATH",
                        help="write the per-point aggregate table as CSV")
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP daemon: POST /run and /sweep over a persistent "
+             "warm worker fleet with a shared run cache (see "
+             "docs/serving.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8351,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: 8351)")
+    serve.add_argument("--jobs", type=int, default=0, metavar="N",
+                       help="warm worker processes shared by all requests "
+                            "(0 = execute in the request thread)")
+    serve.add_argument("--cache-dir", default="", metavar="DIR",
+                       help="content-addressed run cache shared across "
+                            "clients: identical requests dedup to one "
+                            "simulation")
+    serve.add_argument("--queue-depth", type=int, default=8, metavar="N",
+                       help="max requests in flight before the daemon "
+                            "answers 429 (default: 8)")
+    serve.add_argument("--batch-size", type=int, default=0, metavar="N",
+                       help="default points per worker task for /sweep "
+                            "requests (0 = auto)")
+    serve.set_defaults(func=_cmd_serve)
 
     validate = sub.add_parser(
         "validate",

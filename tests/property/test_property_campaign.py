@@ -1,15 +1,19 @@
-"""Property: campaign results are byte-identical across worker counts.
+"""Property: campaign results are byte-identical across execution modes.
 
 The campaign runner's core contract (and what makes the run cache
 sound): the merged document depends only on the spec — not on how many
-processes executed it, not on completion order, not on cache
-temperature.  We run the same sweep serially (``jobs=0``), with one
-worker, and with four workers, and compare the canonical JSON
-byte-for-byte — including a telemetry-bearing point, whose per-run
-metrics are embedded in the result payloads.
+processes executed it, not on completion order, not on batch size, not
+on whether the workers were warm (the shared persistent fleet) or cold
+(a private single-use pool), not on cache temperature.  We run the same
+sweep across ``jobs`` x ``batch_size`` x warm/cold combinations and
+compare the canonical JSON byte-for-byte — including a
+telemetry-bearing point, whose per-run metrics are embedded in the
+result payloads.
 """
 
-from repro.campaign import CampaignRunner, SweepSpec
+import pytest
+
+from repro.campaign import CampaignRunner, SweepSpec, shutdown_shared_pool
 
 # Small enough to keep three executions (one per jobs count) cheap, but
 # covering both schedulers and a telemetry-embedding trace level.
@@ -23,6 +27,13 @@ SPEC = SweepSpec(
         "scheduler": ["baseline", "themis"],
     },
 )
+
+
+@pytest.fixture(autouse=True)
+def _clean_shared_pool():
+    shutdown_shared_pool()
+    yield
+    shutdown_shared_pool()
 
 
 def test_results_identical_across_jobs_counts(tmp_path):
@@ -40,3 +51,28 @@ def test_results_identical_across_jobs_counts(tmp_path):
     warm = CampaignRunner(jobs=0, cache_dir=tmp_path).run(SPEC)
     assert warm.cache_counters["hits"] == len(SPEC)
     assert warm.canonical_results_json() == docs[0]
+
+
+def test_results_identical_across_batching_and_worker_reuse():
+    """jobs x batch_size x warm/cold worker reuse: one merged document.
+
+    The warm runs deliberately share one persistent fleet (that *is* the
+    reuse under test: later runs hit workers already warmed by earlier
+    ones); the cold runs each build and tear down a private pool.  Batch
+    size changes how points pack into tasks — and therefore completion
+    order — which the spec-order merge must erase.
+    """
+    reference = CampaignRunner(jobs=0).run(SPEC).canonical_results_json()
+    for jobs in (1, 2, 4):
+        for batch_size in (1, 4):
+            warm = CampaignRunner(jobs=jobs, batch_size=batch_size,
+                                  warm=True).run(SPEC)
+            assert not warm.errors, warm.errors
+            assert warm.canonical_results_json() == reference, (
+                f"warm jobs={jobs} batch_size={batch_size} diverged")
+    for batch_size in (1, 4):
+        cold = CampaignRunner(jobs=2, batch_size=batch_size,
+                              warm=False).run(SPEC)
+        assert not cold.errors, cold.errors
+        assert cold.canonical_results_json() == reference, (
+            f"cold jobs=2 batch_size={batch_size} diverged")

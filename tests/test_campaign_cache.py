@@ -1,8 +1,15 @@
 """Unit tests for the content-addressed run cache."""
 
 import json
+import shutil
+from pathlib import Path
 
-from repro.campaign import CACHE_SCHEMA_VERSION, RunCache, code_fingerprint
+from repro.campaign import (
+    CACHE_SCHEMA_VERSION,
+    RunCache,
+    code_fingerprint,
+    fingerprint_sources,
+)
 
 POINT = {"topology": "Ring(4)", "bandwidths": "100", "payload_mib": 1.0}
 RESULT = {"total_time_ns": 123.0, "events_processed": 7}
@@ -54,6 +61,56 @@ class TestInvalidation:
         cache.put(POINT, RESULT)
         cache.put(POINT, {"total_time_ns": 456.0})
         assert cache.get(POINT) == {"total_time_ns": 456.0}
+
+
+class TestSourceFingerprint:
+    """Every result-shaping subpackage must participate in the key.
+
+    Regression guard: the fingerprint once risked covering only the flat
+    core — a cached result would then survive edits to
+    :mod:`repro.frontend`'s planner/costing code and serve stale
+    payloads.
+    """
+
+    def _package_root(self) -> Path:
+        import repro
+
+        return Path(repro.__file__).resolve().parent
+
+    def test_fingerprint_sources_cover_every_subpackage(self):
+        root = self._package_root()
+        rels = {p.relative_to(root).as_posix()
+                for p in fingerprint_sources()}
+        assert "__init__.py" in rels
+        for subpackage in ("frontend", "campaign", "validate"):
+            assert any(r.startswith(subpackage + "/") for r in rels), (
+                f"{subpackage}/ missing from the code fingerprint")
+        assert "frontend/planner.py" in rels
+
+    def test_touching_a_frontend_file_changes_the_fingerprint(
+            self, tmp_path):
+        copy = tmp_path / "repro"
+        shutil.copytree(self._package_root(), copy,
+                        ignore=shutil.ignore_patterns("__pycache__"))
+        before = code_fingerprint(copy)
+        planner = copy / "frontend" / "planner.py"
+        planner.write_text(planner.read_text() + "\n# perturbed\n")
+        after = code_fingerprint(copy)
+        assert before != after
+
+    def test_frontend_edit_invalidates_cache_entries(self, tmp_path):
+        copy = tmp_path / "repro"
+        shutil.copytree(self._package_root(), copy,
+                        ignore=shutil.ignore_patterns("__pycache__"))
+        stale = RunCache(tmp_path / "cache",
+                         fingerprint=code_fingerprint(copy))
+        stale.put(POINT, RESULT)
+        planner = copy / "frontend" / "planner.py"
+        planner.write_text(planner.read_text() + "\n# perturbed\n")
+        fresh = RunCache(tmp_path / "cache",
+                         fingerprint=code_fingerprint(copy))
+        assert fresh.key(POINT) != stale.key(POINT)
+        assert fresh.get(POINT) is None  # the stale entry cannot hit
 
 
 class TestCorruption:

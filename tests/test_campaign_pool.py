@@ -1,0 +1,225 @@
+"""Warm-pool unit tests and campaign failure-path tests.
+
+Covers the :mod:`repro.campaign.pool` primitives (base-config broadcast,
+batch planning, batched worker entry, pool lifecycle) and the runner's
+crash-containment contract: a worker dying mid-batch yields structured
+per-point error records — never a hung sweep — innocents sharing the
+crasher's batch survive via retry, ``fail_fast`` aborts promptly, and
+``KeyboardInterrupt`` tears the fleet down cleanly.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    CampaignRunner,
+    SweepSpec,
+    WarmPool,
+    get_shared_pool,
+    pick_start_method,
+    plan_batches,
+    run_batch,
+    shared_pool_stats,
+    shutdown_shared_pool,
+    split_common_base,
+)
+
+SMALL_BASE = {
+    "topology": "Ring(4)", "bandwidths": "100",
+    "workload": "allreduce", "payload_mib": 1,
+}
+
+
+def echo_executor(point):
+    return {"total_time_ns": float(point["payload_mib"]) * 10.0}
+
+
+def failing_executor(point):
+    if float(point["payload_mib"]) >= 2:
+        raise RuntimeError("boom at %s" % point["payload_mib"])
+    return {"total_time_ns": 1.0}
+
+
+def crashing_executor(point):
+    """Kills the worker process outright (no exception to catch)."""
+    if float(point["payload_mib"]) == 2.0:
+        os._exit(13)
+    return {"total_time_ns": float(point["payload_mib"]) * 10.0}
+
+
+@pytest.fixture(autouse=True)
+def _clean_shared_pool():
+    """Every test starts and ends without a leaked shared fleet."""
+    shutdown_shared_pool()
+    yield
+    shutdown_shared_pool()
+
+
+class TestSplitCommonBase:
+    def test_common_fields_factor_into_base(self):
+        points = [dict(SMALL_BASE, chunks=c) for c in (8, 16)]
+        base, overrides = split_common_base(points)
+        assert base == SMALL_BASE
+        assert overrides == [{"chunks": 8}, {"chunks": 16}]
+        for point, override in zip(points, overrides):
+            assert {**base, **override} == point
+
+    def test_no_common_fields(self):
+        base, overrides = split_common_base([{"a": 1}, {"b": 2}])
+        assert base == {}
+        assert overrides == [{"a": 1}, {"b": 2}]
+
+    def test_unhashable_values_compare_canonically(self):
+        points = [{"faults": ["link:0"], "x": i} for i in range(2)]
+        base, overrides = split_common_base(points)
+        assert base == {"faults": ["link:0"]}
+        assert overrides == [{"x": 0}, {"x": 1}]
+
+    def test_empty(self):
+        assert split_common_base([]) == ({}, [])
+
+
+class TestPlanBatches:
+    def test_explicit_batch_size(self):
+        assert plan_batches([0, 1, 2, 3, 4], workers=2, batch_size=2) == [
+            [0, 1], [2, 3], [4]]
+
+    def test_auto_targets_two_tasks_per_worker(self):
+        batches = plan_batches(list(range(16)), workers=4)
+        assert len(batches) == 8
+        assert sorted(i for b in batches for i in b) == list(range(16))
+
+    def test_auto_never_empty_batches(self):
+        assert plan_batches([7], workers=4) == [[7]]
+        assert plan_batches([], workers=4) == []
+
+
+class TestRunBatch:
+    def test_reconstructs_points_from_base(self):
+        out = run_batch(echo_executor, SMALL_BASE,
+                        [(3, {"payload_mib": 2}), (5, {})])
+        assert out[0] == (3, {"ok": True,
+                              "result": {"total_time_ns": 20.0}})
+        assert out[1] == (5, {"ok": True,
+                              "result": {"total_time_ns": 10.0}})
+
+    def test_failure_becomes_outcome_not_exception(self):
+        out = run_batch(failing_executor, SMALL_BASE,
+                        [(0, {}), (1, {"payload_mib": 2})])
+        assert out[0][1]["ok"] is True
+        assert out[1][1]["ok"] is False
+        assert out[1][1]["error"]["type"] == "RuntimeError"
+
+
+class TestWarmPoolLifecycle:
+    def test_start_method_is_never_fork(self):
+        assert pick_start_method() in ("forkserver", "spawn")
+        assert WarmPool(1).start_method in ("forkserver", "spawn")
+
+    def test_restart_is_idempotent_per_generation(self):
+        pool = WarmPool(1)
+        generation = pool.generation
+        assert pool.restart(generation) is True
+        # a latecomer carrying the stale generation is a no-op
+        assert pool.restart(generation) is False
+        assert pool.generation == generation + 1
+        assert pool.restarts == 1
+        pool.shutdown()
+
+    def test_resize_grows_never_shrinks(self):
+        pool = WarmPool(2)
+        pool.resize(1)
+        assert pool.workers == 2
+        pool.resize(3)
+        assert pool.workers == 3
+        pool.shutdown()
+
+    def test_submit_after_shutdown_rejected(self):
+        pool = WarmPool(1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.submit(os.getpid)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            WarmPool(0)
+
+
+class TestSharedFleet:
+    def test_workers_are_reused_across_sweeps(self):
+        pool = get_shared_pool(2)
+        pids = pool.warm_up()
+        assert len(pids) >= 1
+        spec = SweepSpec(base=SMALL_BASE, grid={"payload_mib": [1, 3]})
+        CampaignRunner(jobs=2, executor=echo_executor).run(spec)
+        # the same worker processes are still serving after the sweep
+        assert pool.warm_up() == pids
+        assert get_shared_pool(2) is pool
+
+    def test_shared_pool_grows_on_demand(self):
+        pool = get_shared_pool(1)
+        assert get_shared_pool(2) is pool
+        assert pool.workers == 2
+
+    def test_stats_reflect_lifecycle(self):
+        assert shared_pool_stats() is None
+        pool = get_shared_pool(1)
+        stats = shared_pool_stats()
+        assert stats["workers"] == 1 and stats["started"] is False
+        pool.warm_up()
+        assert shared_pool_stats()["started"] is True
+        shutdown_shared_pool()
+        assert shared_pool_stats() is None
+
+
+class TestCrashContainment:
+    def test_worker_crash_mid_batch_yields_error_records(self):
+        """A dying worker must not hang the sweep or take innocents down.
+
+        With batch_size=2, the crashing point shares a task with an
+        innocent one; both see the broken pool, both are retried as
+        singletons on a fresh fleet, the innocent succeeds, and the
+        deterministic crasher exhausts its retries into a structured
+        error record.
+        """
+        spec = SweepSpec(base=SMALL_BASE,
+                         grid={"payload_mib": [1, 2, 3, 4]})
+        campaign = CampaignRunner(jobs=2, executor=crashing_executor,
+                                  warm=False, batch_size=2).run(spec)
+        assert len(campaign.points) == 4
+        errors = campaign.errors
+        assert len(errors) == 1
+        assert errors[0]["config"]["payload_mib"] == 2.0
+        assert errors[0]["error"]["type"] == "BrokenProcessPool"
+        survivors = [p for p in campaign.points if p["error"] is None]
+        assert sorted(p["result"]["total_time_ns"] for p in survivors) == [
+            10.0, 30.0, 40.0]
+        counters = {m["name"]: m["value"]
+                    for m in campaign.telemetry.to_list()}
+        assert counters["worker_restarts"] >= 1
+        assert counters["points_retried"] >= 1
+        assert counters["points_failed"] == 1
+
+    def test_fail_fast_cancels_pending_batches(self):
+        spec = SweepSpec(base=SMALL_BASE,
+                         grid={"payload_mib": [2, 1, 3, 4]})
+        runner = CampaignRunner(jobs=2, executor=failing_executor,
+                                warm=False, batch_size=1, fail_fast=True)
+        with pytest.raises(CampaignError, match="failed"):
+            runner.run(spec)
+
+    def test_keyboard_interrupt_tears_fleet_down(self, monkeypatch):
+        import repro.campaign.runner as runner_mod
+
+        def interrupted_wait(futures):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(runner_mod, "_wait_any", interrupted_wait)
+        spec = SweepSpec(base=SMALL_BASE, grid={"payload_mib": [1, 3]})
+        runner = CampaignRunner(jobs=1, executor=echo_executor)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(spec)
+        # ^C must leave no shared fleet behind
+        assert shared_pool_stats() is None

@@ -151,6 +151,50 @@ class TestExecutorResolution:
         with pytest.raises(ValueError, match="jobs"):
             CampaignRunner(jobs=-1)
 
+    def test_negative_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            CampaignRunner(batch_size=-1)
+
+
+class TestStreaming:
+    def test_stream_yields_records_in_spec_order(self):
+        spec = SweepSpec(base=SMALL_BASE,
+                         grid={"payload_mib": [3, 1, 2]})
+        stream = CampaignRunner(jobs=0, executor=echo_executor).stream(spec)
+        records = []
+        while True:
+            try:
+                records.append(next(stream))
+            except StopIteration as stop:
+                result = stop.value
+                break
+        assert [r["index"] for r in records] == [0, 1, 2]
+        # the generator's return value is the full merged result
+        assert result.points == records
+        assert [r["total_time_ns"] for r in result.results] == [
+            30.0, 10.0, 20.0]
+
+    def test_cached_points_stream_before_execution(self, tmp_path):
+        spec = SweepSpec(base=SMALL_BASE, grid={"payload_mib": [1, 2]})
+        CampaignRunner(jobs=0, executor=echo_executor,
+                       cache_dir=tmp_path).run(spec)
+        warm = CampaignRunner(jobs=0, executor=echo_executor,
+                              cache_dir=tmp_path).stream(spec)
+        first = next(warm)
+        assert first["cached"] is True and first["index"] == 0
+        warm.close()
+
+    def test_shared_cache_instance_dedups_across_runners(self, tmp_path):
+        from repro.campaign import RunCache
+
+        cache = RunCache(tmp_path)
+        spec = SweepSpec(base=SMALL_BASE, grid={"payload_mib": [1]})
+        CampaignRunner(jobs=0, executor=echo_executor, cache=cache).run(spec)
+        again = CampaignRunner(jobs=0, executor=echo_executor,
+                               cache=cache).run(spec)
+        assert all(p["cached"] for p in again.points)
+        assert cache.counters() == {"hits": 1, "misses": 1, "corrupted": 0}
+
 
 class TestCacheIntegration:
     def test_second_run_is_fully_cached_and_identical(self, tmp_path):
