@@ -211,13 +211,50 @@ def _ab_seed_engine(quick: bool, repeats: int) -> Dict[str, object]:
     }
 
 
+# 32K-NPU wall time of the scaling scenario before the symbolic-group /
+# lazy-link-graph work (committed BENCH_perf.json baseline at the time):
+# the O(npus) construction and group materialization made wall time grow
+# linearly in system size.  The symmetry-folded path must beat this by
+# >= 20x (ISSUE 9 acceptance floor).
+PRE_FOLD_32K_BASELINE_WALL_S = 3.113
+
+#: scale factor whose Conv-4D system is 1,048,576 NPUs
+#: (2 * 8 * 8 * (4 * 2048)).
+MILLION_NPU_SCALE = 2048
+
+
 def bench_scaling(quick: bool = False, repeats: int = 3) -> Dict[str, object]:
-    """512 -> 32K NPU scaling rows plus a seed-engine A/B."""
-    scales = (1, 2) if quick else (1, 2, 8, 16, 64)
+    """512 -> 1M NPU scaling rows plus a seed-engine A/B.
+
+    The O(npus)-free path makes wall time a function of the *event
+    count*, not the system size, so the million-NPU row costs the same
+    as the 512-NPU one; both quick and full runs include it.  Reported
+    alongside the rows:
+
+    - ``flatness`` — largest-to-smallest wall-time ratio across the
+      rows (1.0 is perfectly flat; the committed baseline before the
+      symbolic-group work measured ~42x between 512 and 32K NPUs);
+    - ``speedup_vs_pre_fold_32k`` — the 32K-NPU row against the frozen
+      pre-optimization baseline (full runs only; quick runs skip 32K).
+    """
+    scales = ((1, 2, MILLION_NPU_SCALE) if quick
+              else (1, 2, 8, 16, 64, MILLION_NPU_SCALE))
     _run_scaling_scenario(1)  # warm-up: first-use imports (scipy LP) etc.
     rows: List[Dict[str, float]] = [_run_scaling_scenario(s) for s in scales]
-    ab = _ab_seed_engine(quick, repeats=2 if quick else repeats)
-    return {"rows": rows, "seed_engine_ab": ab}
+    walls = [r["wall_s"] for r in rows]
+    out: Dict[str, object] = {
+        "rows": rows,
+        "flatness": round(max(walls) / max(min(walls), 1e-12), 2),
+        "million_npu_wall_s": next(
+            r["wall_s"] for r in rows if r["scale"] == MILLION_NPU_SCALE),
+    }
+    for row in rows:
+        if row["scale"] == 64:
+            out["speedup_vs_pre_fold_32k"] = round(
+                PRE_FOLD_32K_BASELINE_WALL_S / max(row["wall_s"], 1e-12), 1)
+    out["seed_engine_ab"] = _ab_seed_engine(
+        quick, repeats=2 if quick else repeats)
+    return out
 
 
 # -- sweep campaigns --------------------------------------------------------------
@@ -356,11 +393,15 @@ def bench_telemetry_overhead(quick: bool = False,
     completion, memory issue) must not slow uninstrumented simulations.
     Compares ``telemetry=None`` against a collector at trace level *off*
     with the sampler disabled, so the hooks run but record only counters.
+
+    The full-size collective count is sized so one run costs ~150 ms:
+    the symbolic-group fast path made the old 32-collective scenario
+    finish in ~20 ms, where timer noise alone exceeds the 2% budget.
     """
     from repro.telemetry import TelemetryConfig, TraceLevel
 
     payload = 16 * MiB if quick else 64 * MiB
-    count = 16 if quick else 32
+    count = 16 if quick else 256
     idle = TelemetryConfig(trace_level=TraceLevel.OFF, sample_interval_ns=0)
 
     base_total = _telemetry_scenario(None, payload, count)
@@ -418,11 +459,14 @@ def bench_invariant_overhead(quick: bool = False,
     un-instrumented code path, so the interesting numbers are the
     enabled-run wall-clock overhead and whether checking perturbs
     simulated time (it must not — the checker only observes).
+
+    Full-size collective count sized for a ~150 ms run, same reasoning
+    as :func:`bench_telemetry_overhead`.
     """
     from repro.validate import InvariantConfig
 
     payload = 16 * MiB if quick else 64 * MiB
-    count = 16 if quick else 32
+    count = 16 if quick else 256
     checked = InvariantConfig()
 
     base_total = _invariant_scenario(None, payload, count)

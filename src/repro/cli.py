@@ -346,6 +346,7 @@ def simulate_from_args(args: argparse.Namespace) -> Tuple[object, object, object
         fabric_collectives=fabric,
         telemetry=_telemetry_config(args),
         invariants=_invariants_config(args),
+        folding=getattr(args, "folding", "auto"),
     )
     resilience = None
     if args.faults or args.fault_seed is not None:
@@ -382,6 +383,11 @@ def run_from_args(args: argparse.Namespace) -> int:
     print(f"total    : {result.total_time_ms:.3f} ms  "
           f"({result.nodes_executed} nodes, "
           f"{result.events_processed} events)")
+    if result.folding is not None and result.folding.active:
+        fold = result.folding
+        print(f"folding  : {fold.num_classes} classes simulated for "
+              f"{fold.traced_ranks} ranks "
+              f"({fold.folded_ranks} folded away)")
     if args.sim_rate and result.simulation_rate_eps is not None:
         # Opt-in: wall-clock dependent, so off by default to keep the
         # CLI output deterministic across runs.
@@ -569,7 +575,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     if "conformance" in suites:
         report = run_conformance_suite(quick=quick)
         doc["conformance"] = report.to_dict()
-        total = len(report.cases) + len(report.memory_cases)
+        total = (len(report.cases) + len(report.memory_cases)
+                 + len(report.folding_cases))
         status = "ok" if report.passed else "FAIL"
         print(f"conformance : {status}  ({total} scenario cases, "
               f"{len(report.failures)} failed)")
@@ -740,6 +747,11 @@ def _add_run_flags(parser: argparse.ArgumentParser, required: bool = True) -> No
                         help="garnet packet-train coalescing factor; > 1 "
                              "trades contention granularity for simulation "
                              "speed on large payloads")
+    parser.add_argument("--folding", choices=("auto", "off"), default="auto",
+                        help="symmetry folding: 'auto' simulates one rank "
+                             "per equivalence class of symmetric ranks and "
+                             "reconstructs the per-rank result bit-"
+                             "identically; 'off' simulates every trace")
     parser.add_argument("--chunks", type=int, default=16)
     parser.add_argument("--mp", type=int, default=0)
     parser.add_argument("--dp", type=int, default=0)

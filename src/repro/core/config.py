@@ -69,6 +69,12 @@ class SystemConfig:
             (:mod:`repro.validate`); ``None`` (the default) installs no
             checker and keeps every hook on the exact un-instrumented
             fast path — the same zero-cost contract as ``telemetry``.
+        folding: Symmetry folding of per-rank traces
+            (:mod:`repro.core.folding`): ``"auto"`` (default) simulates
+            one representative per equivalence class of symmetric ranks
+            and reconstructs the per-rank result bit-identically,
+            auto-disabling on any asymmetric input; ``"off"`` always
+            simulates every trace.
     """
 
     topology: MultiDimTopology
@@ -91,8 +97,12 @@ class SystemConfig:
     checkpoint: Optional[CheckpointConfig] = None
     telemetry: Optional[TelemetryConfig] = None
     invariants: Optional["InvariantConfig"] = None
+    folding: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.folding not in ("auto", "off"):
+            raise ValueError(
+                f"folding must be 'auto' or 'off', got {self.folding!r}")
         if self.collective_chunks < 1:
             raise ValueError(
                 f"collective_chunks must be >= 1, got {self.collective_chunks}"

@@ -23,6 +23,7 @@ from repro.core.results import CollectiveRecord
 from repro.events import EventEngine
 from repro.memory.api import MemoryRequest
 from repro.network.analytical import AnalyticalNetwork, DimPort
+from repro.network.topology import CommGroup
 from repro.stats.breakdown import Activity, ActivityLog
 from repro.system.collective_op import CollectiveOperation
 from repro.system.scheduler import ChunkScheduler
@@ -280,9 +281,13 @@ class ExecutionEngine:
         if node.involved_npus is not None:
             group = node.involved_npus
             group_shape = self._shape_of(group, dims, node)
+            rep = min(group)
         else:
-            group = topo.group_across_dims(npu, dims)
-        rep = min(group)
+            # Symbolic communicator: O(num_dims) to build, hash, and test
+            # membership against, independent of how many NPUs it spans —
+            # the analytical hot path never materializes the member list.
+            group = topo.comm_group(npu, dims)
+            rep = group.rep
         comm_key = (rep, dims, group)
         seq_key = (npu,) + comm_key
         seq = self._coll_seq.get(seq_key, 0)
@@ -291,7 +296,10 @@ class ExecutionEngine:
 
         rendezvous = self._rendezvous.get(instance_key)
         if rendezvous is None:
-            participants = set(group) & set(self.traces)
+            if isinstance(group, CommGroup):
+                participants = group.intersection(self.traces)
+            else:
+                participants = set(group) & set(self.traces)
             rendezvous = _CollectiveRendezvous(participants)
             self._rendezvous[instance_key] = rendezvous
         rendezvous.arrived[npu] = node.node_id
@@ -401,6 +409,10 @@ class ExecutionEngine:
         list — the executor drives traffic for *every* member, so
         representative-trace workloads exercise the full group's packets.
         """
+        if isinstance(group, CommGroup):
+            # The executor addresses individual members; packet backends
+            # run at scales where materializing is cheap by construction.
+            group = group.members()
         executor = self._sendrecv_executor
         if executor is None:
             from repro.system.executor import SendRecvCollectiveExecutor

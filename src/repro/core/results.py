@@ -9,6 +9,7 @@ from repro.stats.breakdown import ActivityLog, Breakdown
 from repro.stats.resilience import ResilienceReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.core.folding import FoldReport
     from repro.telemetry import TelemetryReport
     from repro.validate.invariants import InvariantReport
 
@@ -68,6 +69,10 @@ class RunResult:
             metric only — deliberately excluded from
             :func:`repro.stats.export.result_to_dict` so exported results
             stay bit-reproducible across runs.
+        folding: :class:`repro.core.folding.FoldReport` describing the
+            symmetry-folding decision.  Deliberately excluded from
+            ``result_to_dict`` so a folded run's exported document stays
+            bit-identical to the equivalent unfolded run's.
     """
 
     total_time_ns: float
@@ -81,6 +86,7 @@ class RunResult:
     telemetry: Optional["TelemetryReport"] = None
     invariants: Optional["InvariantReport"] = None
     wall_time_s: Optional[float] = None
+    folding: Optional["FoldReport"] = None
 
     @property
     def simulation_rate_eps(self) -> Optional[float]:

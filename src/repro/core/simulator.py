@@ -18,6 +18,7 @@ from typing import Dict
 
 from repro.core.config import SystemConfig
 from repro.core.engine import ExecutionEngine
+from repro.core.folding import plan_folding
 from repro.core.results import RunResult
 from repro.events import EventEngine
 from repro.network.analytical import AnalyticalNetwork
@@ -30,6 +31,12 @@ class Simulator:
 
     def __init__(self, traces: Dict[int, ExecutionTrace], config: SystemConfig) -> None:
         self.config = config
+        # Symmetry folding (repro.core.folding): simulate one rank per
+        # equivalence class and reconstruct per-rank results at finalize.
+        # An inactive plan leaves the traces dict untouched.
+        self.folding = plan_folding(traces, config)
+        if self.folding.active:
+            traces = self.folding.folded_traces
         self.engine = EventEngine()
         if config.network_backend == "garnet":
             from repro.network.garnetlite import (
@@ -80,6 +87,12 @@ class Simulator:
                 memory_models=(config.local_memory, config.remote_memory,
                                config.fabric_collectives),
             )
+            # Folding never coexists with telemetry (per-rank observation
+            # disables it); the counter records that — and why — so
+            # instrumented runs can see the fold state they forfeited.
+            self.telemetry.metrics.counter(
+                "system", "folding_disabled",
+                reason=self.folding.report.reason).value = 1.0
         # Runtime invariant checking (repro.validate): same opt-in
         # contract — no config leaves every ``invariants`` slot at None.
         self.invariants = None
@@ -106,6 +119,22 @@ class Simulator:
             npu: self.execution.activity.breakdown(npu, total)
             for npu in self.execution.traces
         }
+        nodes_executed = self.execution.nodes_executed
+        events_processed = self.engine.events_processed
+        collectives = list(self.execution.collective_records)
+        fold = self.folding
+        if fold.active:
+            # Un-fold: every dropped rank is a bit-exact replica of its
+            # class representative, so the per-rank view is reconstructed
+            # in the original trace order (same Breakdown values, same
+            # merge order, same record membership as an unfolded run).
+            per_npu = {
+                npu: per_npu[fold.class_of[npu]]
+                for npu in fold.original_order
+            }
+            nodes_executed += fold.extra_nodes
+            events_processed += fold.extra_events
+            collectives = fold.expand_records(collectives)
         from repro.stats.breakdown import Breakdown
 
         breakdown = Breakdown.merge(list(per_npu.values()))
@@ -127,14 +156,15 @@ class Simulator:
             total_time_ns=total,
             breakdown=breakdown,
             per_npu_breakdown=per_npu,
-            nodes_executed=self.execution.nodes_executed,
-            events_processed=self.engine.events_processed,
-            collectives=list(self.execution.collective_records),
+            nodes_executed=nodes_executed,
+            events_processed=events_processed,
+            collectives=collectives,
             activity=self.execution.activity,
             resilience=resilience,
             telemetry=report,
             invariants=invariant_report,
             wall_time_s=wall,
+            folding=fold.report,
         )
 
 

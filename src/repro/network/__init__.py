@@ -14,7 +14,14 @@ This subpackage provides:
 """
 
 from repro.network.building_blocks import BuildingBlock, block_from_name
-from repro.network.topology import DimSpec, MultiDimTopology, TopologyError, parse_topology
+from repro.network.topology import (
+    CommGroup,
+    CoordinateError,
+    DimSpec,
+    MultiDimTopology,
+    TopologyError,
+    parse_topology,
+)
 from repro.network.api import Message, NetworkBackend
 from repro.network.analytical import AnalyticalNetwork
 from repro.network.flowlevel import FlowLevelNetwork
@@ -23,6 +30,8 @@ from repro.network.garnetlite import GarnetLiteNetwork
 __all__ = [
     "AnalyticalNetwork",
     "BuildingBlock",
+    "CommGroup",
+    "CoordinateError",
     "DimSpec",
     "FlowLevelNetwork",
     "GarnetLiteNetwork",

@@ -12,12 +12,12 @@ it leaves — at one event per rate change instead of one per packet-hop.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.events import EventEngine
 from repro.events.engine import Event
 from repro.network.api import Message, NetworkBackend
-from repro.network.linkgraph import LinkKey, build_links, dimension_order_route
+from repro.network.linkgraph import LazyLinkGraph, dimension_order_route
 from repro.network.topology import MultiDimTopology, TopologyError
 
 
@@ -29,7 +29,10 @@ class _FlowLink:
     def __init__(self, bandwidth_gbps: float, latency_ns: float) -> None:
         self.capacity = bandwidth_gbps  # GB/s == bytes/ns
         self.latency_ns = latency_ns
-        self.flows: Set["_Flow"] = set()
+        # Insertion-ordered (dict-as-set): _Flow objects hash by identity,
+        # so a plain set would iterate in allocator-dependent order and
+        # same-timestamp completions would drain nondeterministically.
+        self.flows: Dict["_Flow", None] = {}
 
 
 class _Flow:
@@ -120,9 +123,11 @@ class FlowLevelNetwork(NetworkBackend):
             raise ValueError(
                 f"escalation_packet_bytes must be positive, "
                 f"got {escalation_packet_bytes}")
-        self._links: Dict[LinkKey, _FlowLink] = build_links(
-            topology, lambda bw, lat: _FlowLink(bw, lat))
-        self._flows: Set[_Flow] = set()
+        # Links materialize on first touch (LazyLinkGraph); construction
+        # cost is independent of topology size.
+        self._links = LazyLinkGraph(topology, lambda bw, lat: _FlowLink(bw, lat))
+        # Insertion-ordered for deterministic drain order (see _FlowLink).
+        self._flows: Dict[_Flow, None] = {}
         self._last_update = 0.0
         self._completion_event: Optional[Event] = None
         self.rate_recomputations = 0
@@ -161,9 +166,9 @@ class FlowLevelNetwork(NetworkBackend):
             self._start_escalated(message, on_sent, links)
         else:
             flow = _Flow(message, on_sent, links)
-            self._flows.add(flow)
+            self._flows[flow] = None
             for link in links:
-                link.flows.add(flow)
+                link.flows[flow] = None
         self._reallocate()
 
     def _start_escalated(self, message: Message,
@@ -185,9 +190,9 @@ class FlowLevelNetwork(NetworkBackend):
         group.next_idx += 1
         sub = _Flow(group.message, None, group.links,
                     size_bytes=size, group=group)
-        self._flows.add(sub)
+        self._flows[sub] = None
         for link in group.links:
-            link.flows.add(sub)
+            link.flows[sub] = None
 
     # -- fluid dynamics -----------------------------------------------------------
 
@@ -202,7 +207,7 @@ class FlowLevelNetwork(NetworkBackend):
     def _reallocate(self) -> None:
         """Progressive-filling max-min allocation, then reschedule."""
         self.rate_recomputations += 1
-        unfrozen: Set[_Flow] = set(self._flows)
+        unfrozen: Dict[_Flow, None] = dict.fromkeys(self._flows)
         # Only links currently carrying flows can constrain the
         # allocation; skipping idle links keeps each filling round
         # O(active links) on large topologies (max-min rates are unique,
@@ -231,7 +236,7 @@ class FlowLevelNetwork(NetworkBackend):
             bottleneck = link_objects[best_link_id]
             for flow in [f for f in bottleneck.flows if f in unfrozen]:
                 flow.rate = best_share
-                unfrozen.discard(flow)
+                unfrozen.pop(flow, None)
                 for link in flow.links:
                     residual[id(link)] = max(
                         0.0, residual[id(link)] - best_share)
@@ -260,9 +265,9 @@ class FlowLevelNetwork(NetworkBackend):
         self._advance_to_now()
         finished = [f for f in self._flows if f.finished]
         for flow in finished:
-            self._flows.discard(flow)
+            self._flows.pop(flow, None)
             for link in flow.links:
-                link.flows.discard(flow)
+                link.flows.pop(flow, None)
             group = flow.group
             if group is not None:
                 if group.next_idx < len(group.sizes):
@@ -288,7 +293,8 @@ class FlowLevelNetwork(NetworkBackend):
         return len(self._flows)
 
     def link_count(self) -> int:
-        return len(self._links)
+        """Physical links in the topology (closed form; lazy graph)."""
+        return self._links.total_count()
 
     # -- telemetry ----------------------------------------------------------------
 
@@ -316,4 +322,4 @@ class FlowLevelNetwork(NetworkBackend):
         metrics.counter("network", "granularity_escalations").value = float(
             self.granularity_escalations)
         metrics.counter("network", "links_total").value = float(
-            len(self._links))
+            self._links.total_count())

@@ -21,7 +21,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.events import EventEngine
 from repro.network.api import Message, NetworkBackend
-from repro.network.linkgraph import NodeId, build_links, dimension_order_route
+from repro.network.linkgraph import (
+    LazyLinkGraph,
+    NodeId,
+    dimension_order_route,
+)
 from repro.network.topology import MultiDimTopology, TopologyError
 
 DEFAULT_PACKET_BYTES = 4096
@@ -99,22 +103,16 @@ class GarnetLiteNetwork(NetworkBackend):
             raise ValueError(f"train_packets must be >= 1, got {train_packets}")
         self.packet_bytes = packet_bytes
         self.train_packets = train_packets
-        self._links: Dict[Tuple[NodeId, NodeId], _Link] = {}
+        # Links materialize on first touch (LazyLinkGraph), so topology
+        # size costs nothing until a route actually crosses a link.
+        self._links = LazyLinkGraph(
+            topology, lambda bw, lat: _Link(bw, lat),
+            on_create=lambda key, link: setattr(link, "key", key))
         # Routes and their per-hop link objects are pure functions of the
         # topology; collective traffic revisits the same (src, dst) pairs
         # once per packet per chunk, so resolve each pair once.
         self._path_cache: Dict[Tuple[int, int], Tuple[_Link, ...]] = {}
         self.packet_hops = 0
-        self._build_links()
-
-    # -- link graph --------------------------------------------------------------
-
-    def _build_links(self) -> None:
-        self._links = build_links(
-            self.topology, lambda bw, lat: _Link(bw, lat))
-        for key, link in self._links.items():
-            link.key = key
-        self._path_cache.clear()
 
     def route(self, src: int, dst: int) -> List[NodeId]:
         """Dimension-order route from src to dst (inclusive of endpoints)."""
@@ -187,10 +185,15 @@ class GarnetLiteNetwork(NetworkBackend):
     # -- statistics ----------------------------------------------------------------
 
     def link_count(self) -> int:
-        return len(self._links)
+        """Physical links in the topology (closed form; lazy graph)."""
+        return self._links.total_count()
 
     def max_link_bytes(self) -> int:
-        """Heaviest-loaded link — nonuniformity here indicates congestion."""
+        """Heaviest-loaded link — nonuniformity here indicates congestion.
+
+        Only materialized links are scanned; untouched links carried
+        zero bytes by construction.
+        """
         return max((l.bytes_carried for l in self._links.values()), default=0)
 
     # -- telemetry ----------------------------------------------------------------
@@ -225,7 +228,7 @@ class GarnetLiteNetwork(NetworkBackend):
             if total_ns > 0:
                 metrics.gauge("network", "link_utilization", link=label).set(
                     min(1.0, link.bytes_carried / link.bandwidth / total_ns))
-        metrics.counter("network", "links_total").value = float(
-            len(self._links))
+        total = self._links.total_count()
+        metrics.counter("network", "links_total").value = float(total)
         metrics.counter("network", "links_dropped").value = float(
-            max(0, len(self._links) - cap))
+            max(0, total - min(cap, len(links))))

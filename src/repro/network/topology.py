@@ -29,6 +29,26 @@ class TopologyError(ValueError):
     """Raised for malformed topology descriptions or invalid NPU ids."""
 
 
+class CoordinateError(TopologyError):
+    """A coordinate fell outside its dimension's valid range.
+
+    Structured variant of :class:`TopologyError` raised by
+    :meth:`MultiDimTopology.npu_id`: carries which dimension rejected the
+    coordinate, the offending value, and the dimension's size, so callers
+    (and error messages) can say exactly *which* axis was wrong instead of
+    silently wrapping modulo the dimension size.
+    """
+
+    def __init__(self, dim_index: int, coordinate: int, size: int) -> None:
+        self.dim_index = dim_index
+        self.coordinate = coordinate
+        self.size = size
+        super().__init__(
+            f"coordinate {coordinate} out of range for dimension "
+            f"{dim_index} (size {size}; valid range 0..{size - 1})"
+        )
+
+
 @dataclass(frozen=True)
 class DimSpec:
     """One dimension of a hierarchical topology.
@@ -140,15 +160,22 @@ class MultiDimTopology:
         return cached
 
     def npu_id(self, coords: Sequence[int]) -> int:
-        """Inverse of :meth:`coords`."""
+        """Inverse of :meth:`coords`.
+
+        Raises :class:`CoordinateError` (naming the offending dimension,
+        coordinate, and valid range) when any coordinate is negative or
+        at least its dimension's size — out-of-range coordinates never
+        wrap around.
+        """
         if len(coords) != self.num_dims:
             raise TopologyError(
                 f"expected {self.num_dims} coordinates, got {len(coords)}"
             )
         npu = 0
-        for c, dim, stride in zip(coords, self.dims, self._strides):
+        for i, (c, dim, stride) in enumerate(
+                zip(coords, self.dims, self._strides)):
             if not (0 <= c < dim.size):
-                raise TopologyError(f"coordinate {c} out of range for {dim}")
+                raise CoordinateError(i, c, dim.size)
             npu += c * stride
         return npu
 
@@ -159,6 +186,43 @@ class MultiDimTopology:
             )
 
     # -- groups and hops --------------------------------------------------------------
+
+    def group_rep(self, npu_id: int, dims: Iterable[int]) -> int:
+        """Lowest member id of ``npu_id``'s communicator over ``dims``.
+
+        Closed form (coordinates over ``dims`` zeroed via stride
+        arithmetic): O(len(dims)), independent of the group size.
+        """
+        self._check_id(npu_id)
+        rep = npu_id
+        for d in set(dims):
+            self._check_dim(d)
+            stride = self._strides[d]
+            rep -= ((npu_id // stride) % self.dims[d].size) * stride
+        return rep
+
+    def group_size(self, dims: Iterable[int]) -> int:
+        """Member count of a communicator spanning ``dims`` (closed form)."""
+        size = 1
+        for d in set(dims):
+            self._check_dim(d)
+            size *= self.dims[d].size
+        return size
+
+    def comm_group(self, npu_id: int, dims: Iterable[int]) -> "CommGroup":
+        """Symbolic communicator of ``npu_id`` across ``dims``.
+
+        Unlike :meth:`group_across_dims` this never materializes the
+        member list: representative, size, and membership tests are all
+        closed-form stride arithmetic, so issuing a collective over a
+        million-NPU dimension costs O(num_dims), not O(num_npus).
+        ``members()`` still materializes on demand for consumers that
+        genuinely need every id (the packet backends' send/recv lowering).
+        """
+        dim_list = tuple(sorted(set(dims)))
+        for d in dim_list:
+            self._check_dim(d)
+        return CommGroup(self, dim_list, self.group_rep(npu_id, dim_list))
 
     def dim_group(self, npu_id: int, dim: int) -> Tuple[int, ...]:
         """All NPUs sharing every coordinate with ``npu_id`` except dim ``dim``."""
@@ -174,27 +238,11 @@ class MultiDimTopology:
         """All NPUs reachable from ``npu_id`` by varying the given dims.
 
         This is the communicator of a collective spanning those dimensions
-        (e.g. an MP group spanning dims (0, 1)).
+        (e.g. an MP group spanning dims (0, 1)), fully materialized.  The
+        simulation hot path uses the symbolic :meth:`comm_group` instead;
+        this remains for callers that genuinely need every member id.
         """
-        dim_list = sorted(set(dims))
-        for d in dim_list:
-            self._check_dim(d)
-        base = list(self.coords(npu_id))
-        members: List[int] = []
-
-        def expand(idx: int) -> None:
-            if idx == len(dim_list):
-                members.append(self.npu_id(base))
-                return
-            d = dim_list[idx]
-            original = base[d]
-            for v in range(self.dims[d].size):
-                base[d] = v
-                expand(idx + 1)
-            base[d] = original
-
-        expand(0)
-        return tuple(sorted(members))
+        return self.comm_group(npu_id, dims).members()
 
     def hops(self, src: int, dst: int) -> int:
         """Total hop count between two NPUs (dimension-order routing)."""
@@ -238,6 +286,91 @@ class MultiDimTopology:
     def __repr__(self) -> str:
         bws = "_".join(f"{d.bandwidth_gbps:g}" for d in self.dims)
         return f"MultiDimTopology({self.notation()}, bw={bws} GB/s)"
+
+
+class CommGroup:
+    """A communicator held symbolically as a coordinate lattice.
+
+    The group is ``{ npu : coords(npu)[d] == coords(rep)[d] for every
+    dimension d NOT in dims }`` — i.e. all NPUs reachable from ``rep`` by
+    varying the given dimensions.  Representative, size, hashing, and
+    membership tests are all closed-form stride arithmetic, so building
+    and comparing communicators is O(num_dims) regardless of how many
+    NPUs the group spans.  :meth:`members` materializes the sorted member
+    tuple on demand (identical to
+    :meth:`MultiDimTopology.group_across_dims`) for the few consumers
+    that need explicit ids, e.g. the packet backends' send/recv lowering.
+
+    Instances hash and compare by ``(rep, dims, size)`` — two groups over
+    the same topology are equal iff they contain the same NPUs.  They do
+    NOT compare equal to plain member tuples; code mixing symbolic and
+    explicit groups for the *same* rendezvous must normalize first.
+    """
+
+    __slots__ = ("topology", "dims", "rep", "size", "_members", "_hash")
+
+    def __init__(self, topology: MultiDimTopology, dims: Tuple[int, ...],
+                 rep: int) -> None:
+        self.topology = topology
+        self.dims = dims
+        self.rep = rep
+        self.size = topology.group_size(dims)
+        self._members: Tuple[int, ...] = ()
+        self._hash = hash((rep, dims, self.size))
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, npu: object) -> bool:
+        if not isinstance(npu, int) or not (0 <= npu < self.topology.num_npus):
+            return False
+        topo = self.topology
+        rep = self.rep
+        for d in range(topo.num_dims):
+            if d in self.dims:
+                continue
+            stride = topo._strides[d]
+            if (npu // stride) % topo.dims[d].size != \
+                    (rep // stride) % topo.dims[d].size:
+                return False
+        return True
+
+    def members(self) -> Tuple[int, ...]:
+        """Materialized, sorted member ids (cached after first call)."""
+        cached = self._members
+        if not cached:
+            topo = self.topology
+            offsets = [0]
+            for d in self.dims:
+                stride = topo._strides[d]
+                offsets = [
+                    off + v * stride
+                    for v in range(topo.dims[d].size)
+                    for off in offsets
+                ]
+            cached = self._members = tuple(
+                sorted(self.rep + off for off in offsets))
+        return cached
+
+    def __iter__(self):
+        return iter(self.members())
+
+    def intersection(self, ids: Iterable[int]) -> "set[int]":
+        """Members present in ``ids`` — O(len(ids) * num_dims), no
+        materialization of the group itself."""
+        return {i for i in ids if i in self}
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CommGroup):
+            return NotImplemented
+        return (self.rep == other.rep and self.dims == other.dims
+                and self.size == other.size)
+
+    def __repr__(self) -> str:
+        return f"CommGroup(rep={self.rep}, dims={self.dims}, size={self.size})"
 
 
 _DIM_RE = re.compile(r"^\s*([A-Za-z]+)\s*\(\s*(\d+)\s*\)\s*$")

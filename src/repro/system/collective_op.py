@@ -31,7 +31,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.events import EventEngine
 from repro.network.analytical import AnalyticalNetwork
-from repro.network.topology import DimSpec
+from repro.network.topology import CommGroup, DimSpec
 from repro.system.phases import (
     PhaseKind,
     phase_busy_ns,
@@ -109,9 +109,13 @@ class CollectiveOperation:
         self.on_complete = on_complete
         self.num_chunks = num_chunks
         self.payload_bytes = payload_bytes
-        self.group_members: Optional[frozenset] = (
-            frozenset(group_members) if group_members is not None else None
-        )
+        # Only membership tests are ever needed (fault scoping), so a
+        # symbolic CommGroup is kept as-is — materializing a frozenset
+        # here would reintroduce an O(group_size) cost per collective.
+        if group_members is None or isinstance(group_members, CommGroup):
+            self.group_members = group_members
+        else:
+            self.group_members = frozenset(group_members)
         # Every collective on the same communicator signature derives the
         # same effective specs / active dims / group size, and training
         # loops issue thousands of ops over a handful of communicators —

@@ -26,8 +26,10 @@ from repro.validate.conformance import (
     REL_SAF,
     ConformanceCase,
     ConformanceReport,
+    FoldingCase,
     MemoryModelCase,
     run_conformance_suite,
+    run_folding_matrix,
 )
 from repro.validate.invariants import (
     INVARIANTS_SCHEMA_VERSION,
@@ -55,6 +57,7 @@ __all__ = [
     "ConformanceCase",
     "ConformanceReport",
     "FRONTEND_SCHEMA_VERSION",
+    "FoldingCase",
     "FrontendCase",
     "FrontendReport",
     "INVARIANTS_SCHEMA_VERSION",
@@ -71,6 +74,7 @@ __all__ = [
     "RelationResult",
     "expected_collective_traffic",
     "run_conformance_suite",
+    "run_folding_matrix",
     "run_frontend_suite",
     "run_metamorphic_suite",
 ]

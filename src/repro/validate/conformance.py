@@ -24,6 +24,7 @@ violation-free run.  The outcome is persisted as a versioned
 
 from __future__ import annotations
 
+import copy
 import json
 import math
 from dataclasses import dataclass, field
@@ -32,12 +33,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core.config import SystemConfig
 from repro.core.simulator import Simulator
 from repro.events import EventEngine
+from repro.faults.spec import FaultKind, FaultSchedule, FaultSpec
 from repro.memory.remote import HierarchicalRemoteMemory, HierMemConfig
 from repro.memory.zero_infinity import ZeroInfinityConfig, ZeroInfinityMemory
 from repro.network.analytical import AnalyticalNetwork
 from repro.network.flowlevel import FlowLevelNetwork
 from repro.network.garnetlite import GarnetLiteNetwork
 from repro.network.topology import parse_topology
+from repro.stats.export import result_to_dict
 from repro.system.executor import SendRecvCollectiveExecutor
 from repro.trace.graph import ExecutionTrace
 from repro.trace.node import CollectiveType, ETNode, NodeType, TensorLocation
@@ -139,24 +142,61 @@ class MemoryModelCase:
         }
 
 
+@dataclass(frozen=True)
+class FoldingCase:
+    """One folded-vs-unfolded bit-identity comparison.
+
+    ``identical`` is strict: the two runs' schema-v2 result documents
+    must serialize to the same JSON text, byte for byte.
+    """
+
+    scenario: str
+    backend: str
+    collective: str
+    traced_ranks: int
+    simulated_ranks: int
+    fold_active: bool
+    expect_active: bool
+    identical: bool
+    passed: bool
+    message: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "backend": self.backend,
+            "collective": self.collective,
+            "traced_ranks": self.traced_ranks,
+            "simulated_ranks": self.simulated_ranks,
+            "fold_active": self.fold_active,
+            "expect_active": self.expect_active,
+            "identical": self.identical,
+            "passed": self.passed,
+            "message": self.message,
+        }
+
+
 @dataclass
 class ConformanceReport:
     """Versioned outcome of one conformance sweep."""
 
     cases: List[ConformanceCase] = field(default_factory=list)
     memory_cases: List[MemoryModelCase] = field(default_factory=list)
+    folding_cases: List[FoldingCase] = field(default_factory=list)
     quick: bool = True
     schema_version: int = CONFORMANCE_SCHEMA_VERSION
 
     @property
     def passed(self) -> bool:
         return (all(c.passed for c in self.cases)
-                and all(c.passed for c in self.memory_cases))
+                and all(c.passed for c in self.memory_cases)
+                and all(c.passed for c in self.folding_cases))
 
     @property
     def failures(self) -> List[Any]:
         return ([c for c in self.cases if not c.passed]
-                + [c for c in self.memory_cases if not c.passed])
+                + [c for c in self.memory_cases if not c.passed]
+                + [c for c in self.folding_cases if not c.passed])
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -164,12 +204,14 @@ class ConformanceReport:
             "suite": "conformance",
             "quick": self.quick,
             "passed": self.passed,
-            "cases_total": len(self.cases) + len(self.memory_cases),
+            "cases_total": (len(self.cases) + len(self.memory_cases)
+                            + len(self.folding_cases)),
             "cases_failed": len(self.failures),
             "tolerances": {"rel_flow": REL_FLOW, "rel_packet": REL_PACKET,
                            "rel_saf": REL_SAF},
             "cases": [c.to_dict() for c in self.cases],
             "memory_cases": [c.to_dict() for c in self.memory_cases],
+            "folding_cases": [c.to_dict() for c in self.folding_cases],
         }
 
     def dump(self, path: str) -> None:
@@ -375,14 +417,136 @@ def run_memory_matrix(quick: bool = True) -> List[MemoryModelCase]:
     return cases
 
 
+# -- folding axis ----------------------------------------------------------------------
+
+
+def _replicated_traces(
+    num_npus: int, collective: CollectiveType, payload_bytes: int,
+    comm_dims: Tuple[int, ...],
+) -> Dict[int, ExecutionTrace]:
+    """The same compute -> collective -> compute trace on every rank."""
+    base = [
+        ETNode(0, NodeType.COMPUTE, name="fwd", flops=1 << 22,
+               tensor_bytes=256 * KiB),
+        ETNode(1, NodeType.COMM_COLLECTIVE, name="grad.sync",
+               tensor_bytes=payload_bytes, deps=(0,),
+               collective=collective, comm_dims=comm_dims),
+        ETNode(2, NodeType.COMPUTE, name="opt", flops=1 << 20,
+               tensor_bytes=64 * KiB, deps=(1,)),
+    ]
+    return {
+        rank: ExecutionTrace(rank, [copy.deepcopy(n) for n in base])
+        for rank in range(num_npus)
+    }
+
+
+def _folded_vs_unfolded(
+    scenario: str,
+    backend: str,
+    collective_name: str,
+    traces_factory,
+    expect_active: bool,
+    config_extra: Optional[Dict[str, Any]] = None,
+    notation: str = "Ring(2)_FC(4)",
+    bandwidths: Sequence[float] = (100.0, 50.0),
+) -> FoldingCase:
+    """Run one workload folded and unfolded; demand byte-equal documents."""
+    docs: Dict[str, str] = {}
+    fold_report = None
+    for folding in ("auto", "off"):
+        topo = parse_topology(notation, list(bandwidths))
+        config = SystemConfig(topology=topo, network_backend=backend,
+                              folding=folding, **(config_extra or {}))
+        sim = Simulator(traces_factory(topo.num_npus), config)
+        result = sim.run()
+        docs[folding] = json.dumps(result_to_dict(result), sort_keys=True)
+        if folding == "auto":
+            fold_report = result.folding
+    identical = docs["auto"] == docs["off"]
+    active = bool(fold_report is not None and fold_report.active)
+    passed = identical and active == expect_active
+    message = ""
+    if not identical:
+        message = "folded and unfolded result documents differ"
+    elif active != expect_active:
+        state = "active" if active else "inactive"
+        reason = fold_report.reason if fold_report is not None else ""
+        message = (f"folding unexpectedly {state}"
+                   + (f" ({reason})" if reason else ""))
+    return FoldingCase(
+        scenario=scenario, backend=backend, collective=collective_name,
+        traced_ranks=(fold_report.traced_ranks if fold_report else 0),
+        simulated_ranks=(fold_report.simulated_ranks if fold_report else 0),
+        fold_active=active, expect_active=expect_active,
+        identical=identical, passed=passed, message=message,
+    )
+
+
+def run_folding_matrix(quick: bool = True) -> List[FoldingCase]:
+    """Folding axis: folded vs unfolded runs must be byte-identical.
+
+    Symmetric replicated workloads must fold (one representative per
+    communicator) on every backend; asymmetric inputs — a fault
+    schedule, heterogeneous per-rank traces — must auto-disable folding,
+    and in every case the exported schema-v2 document must not change by
+    a single byte.
+    """
+    payload = 256 * KiB
+    collectives = [CollectiveType.ALL_REDUCE]
+    if not quick:
+        collectives.append(CollectiveType.ALL_GATHER)
+    cases: List[FoldingCase] = []
+    for collective in collectives:
+        cname = collective.name.lower()
+        for backend in ("analytical", "flow", "garnet"):
+            cases.append(_folded_vs_unfolded(
+                scenario="Ring(2)_FC(4)/replicated", backend=backend,
+                collective_name=cname,
+                traces_factory=lambda n, c=collective: _replicated_traces(
+                    n, c, payload, comm_dims=(1,)),
+                expect_active=True,
+            ))
+    # A fault schedule breaks rank symmetry: folding must stand down and
+    # the (identical) unfolded path must be taken both times.
+    straggler = FaultSchedule((FaultSpec(
+        kind=FaultKind.STRAGGLER, start_ns=0.0, duration_ns=1e6,
+        npu=1, factor=2.0),))
+    cases.append(_folded_vs_unfolded(
+        scenario="Ring(2)_FC(4)/faulted", backend="analytical",
+        collective_name="all_reduce",
+        traces_factory=lambda n: _replicated_traces(
+            n, CollectiveType.ALL_REDUCE, payload, comm_dims=(1,)),
+        expect_active=False,
+        config_extra={"faults": straggler},
+    ))
+
+    # Heterogeneous traces (rank-dependent compute) leave only singleton
+    # classes: folding must report itself inactive.
+    def heterogeneous(num_npus: int) -> Dict[int, ExecutionTrace]:
+        traces = _replicated_traces(
+            num_npus, CollectiveType.ALL_REDUCE, payload, comm_dims=(1,))
+        for rank, trace in traces.items():
+            trace.node(0).flops += rank  # every rank now unique
+        return traces
+
+    cases.append(_folded_vs_unfolded(
+        scenario="Ring(2)_FC(4)/heterogeneous", backend="analytical",
+        collective_name="all_reduce",
+        traces_factory=heterogeneous,
+        expect_active=False,
+    ))
+    return cases
+
+
 def run_conformance_suite(
     quick: bool = True,
     check_invariants: bool = True,
 ) -> ConformanceReport:
-    """Full matrix: backend pairs + memory models -> versioned report."""
+    """Full matrix: backend pairs + memory models + folding -> report."""
     return ConformanceReport(
         cases=run_backend_pairs(quick=quick,
                                 check_invariants=check_invariants),
         memory_cases=run_memory_matrix(quick=quick),
+        folding_cases=run_folding_matrix(quick=quick),
         quick=quick,
     )

@@ -1,0 +1,260 @@
+"""Property-based tests: symmetry folding is invisible in the results.
+
+The contract of :mod:`repro.core.folding` is absolute — a folded run's
+exported schema-v2 document equals the unfolded run's **byte for byte**,
+over any symmetric workload, any backend, any collective, and any
+communicator dim-set; and any asymmetry (faults, per-rank trace
+differences, point-to-point traffic, observation hooks) forces the
+unfolded path.
+"""
+
+import copy
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SystemConfig
+from repro.core.folding import plan_folding
+from repro.core.simulator import Simulator
+from repro.faults.spec import FaultKind, FaultSchedule, FaultSpec
+from repro.network.topology import parse_topology
+from repro.stats.export import result_to_dict
+from repro.telemetry.config import TelemetryConfig
+from repro.trace.graph import ExecutionTrace
+from repro.trace.node import CollectiveType, ETNode, NodeType
+from repro.validate.invariants import InvariantConfig
+
+KiB = 1 << 10
+
+#: (notation, bandwidths) — multi-dim shapes small enough to run on the
+#: packet backend yet rich enough to give non-trivial dim subsets.
+TOPOLOGIES = [
+    ("Ring(2)_FC(4)", [100.0, 50.0]),
+    ("Ring(4)_Ring(2)", [150.0, 75.0]),
+    ("FC(2)_Switch(4)", [200.0, 50.0]),
+]
+
+COLLECTIVES = [
+    CollectiveType.ALL_REDUCE,
+    CollectiveType.ALL_GATHER,
+    CollectiveType.REDUCE_SCATTER,
+    CollectiveType.ALL_TO_ALL,
+]
+
+
+def _replicated(num_npus, collective, payload, comm_dims):
+    base = [
+        ETNode(0, NodeType.COMPUTE, name="fwd", flops=1 << 20,
+               tensor_bytes=64 * KiB),
+        ETNode(1, NodeType.COMM_COLLECTIVE, name="sync",
+               tensor_bytes=payload, deps=(0,), collective=collective,
+               comm_dims=comm_dims),
+        ETNode(2, NodeType.COMPUTE, name="opt", flops=1 << 18,
+               tensor_bytes=16 * KiB, deps=(1,)),
+    ]
+    return {rank: ExecutionTrace(rank, [copy.deepcopy(n) for n in base])
+            for rank in range(num_npus)}
+
+
+def _doc(traces, topo, backend, folding, **extra):
+    config = SystemConfig(topology=topo, network_backend=backend,
+                          folding=folding, collective_chunks=2, **extra)
+    result = Simulator(traces, config).run()
+    return json.dumps(result_to_dict(result), sort_keys=True), result.folding
+
+
+class TestBitIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        topo_idx=st.integers(min_value=0, max_value=len(TOPOLOGIES) - 1),
+        backend=st.sampled_from(["analytical", "flow", "garnet"]),
+        collective=st.sampled_from(COLLECTIVES),
+        dims_choice=st.sampled_from([(0,), (1,), (0, 1), None]),
+        payload_kib=st.integers(min_value=4, max_value=256),
+    )
+    def test_folded_equals_unfolded_byte_for_byte(
+            self, topo_idx, backend, collective, dims_choice, payload_kib):
+        notation, bws = TOPOLOGIES[topo_idx]
+        traces = None
+
+        def make(num_npus):
+            return _replicated(num_npus, collective, payload_kib * KiB,
+                               dims_choice)
+
+        topo_a = parse_topology(notation, list(bws))
+        doc_auto, report = _doc(make(topo_a.num_npus), topo_a, backend,
+                                "auto")
+        topo_b = parse_topology(notation, list(bws))
+        doc_off, _ = _doc(make(topo_b.num_npus), topo_b, backend, "off")
+        assert doc_auto == doc_off
+        # Folding over a strict dim subset leaves >1 rank per class;
+        # spanning every dim collapses the job to a single class.
+        if dims_choice is not None and len(dims_choice) < topo_a.num_dims:
+            expected_classes = topo_a.num_npus // topo_a.group_size(
+                dims_choice)
+        else:
+            expected_classes = 1
+        assert report is not None and report.active
+        assert report.num_classes == expected_classes
+        assert report.simulated_ranks < report.traced_ranks
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        backend=st.sampled_from(["analytical", "flow"]),
+        payload_kib=st.integers(min_value=4, max_value=128),
+    )
+    def test_two_distinct_classes_fold_independently(
+            self, backend, payload_kib):
+        """Two different node sequences on interleaved ranks: folding must
+        keep one representative of each and still match byte for byte."""
+        topo = parse_topology("Ring(2)_FC(4)", [100.0, 50.0])
+        payload = payload_kib * KiB
+
+        def make(num_npus):
+            traces = _replicated(num_npus, CollectiveType.ALL_REDUCE,
+                                 payload, (1,))
+            # Shape (2, 4), dim 0 fastest: rank = c0 + 2*c1.  Giving the
+            # upper half of each dim-1 communicator (c1 >= 2) a heavier
+            # forward pass splits every communicator into two signatures.
+            for rank in range(num_npus):
+                if rank // 2 >= 2:
+                    traces[rank].node(0).flops = 1 << 22
+            return traces
+
+        doc_auto, report = _doc(make(topo.num_npus), topo, backend, "auto")
+        topo_b = parse_topology("Ring(2)_FC(4)", [100.0, 50.0])
+        doc_off, _ = _doc(make(topo_b.num_npus), topo_b, backend, "off")
+        assert doc_auto == doc_off
+        assert report.active
+        # 2 signatures x 2 communicators over dim 1 = 4 classes.
+        assert report.num_classes == 4
+
+
+class TestAsymmetryForcesUnfolded:
+    def _traces(self, topo, payload=64 * KiB):
+        return _replicated(topo.num_npus, CollectiveType.ALL_REDUCE,
+                           payload, (1,))
+
+    def test_fault_schedule_disables_folding(self):
+        topo = parse_topology("Ring(2)_FC(4)", [100.0, 50.0])
+        schedule = FaultSchedule((FaultSpec(
+            kind=FaultKind.STRAGGLER, start_ns=0.0, duration_ns=1e6,
+            npu=3, factor=2.0),))
+        config = SystemConfig(topology=topo, faults=schedule)
+        plan = plan_folding(self._traces(topo), config)
+        assert not plan.active
+        assert plan.report.reason == "fault schedule configured"
+
+    def test_telemetry_disables_folding(self):
+        topo = parse_topology("Ring(2)_FC(4)", [100.0, 50.0])
+        config = SystemConfig(topology=topo, telemetry=TelemetryConfig())
+        plan = plan_folding(self._traces(topo), config)
+        assert not plan.active
+        assert plan.report.reason == "telemetry observes per-rank state"
+
+    def test_invariants_disable_folding(self):
+        topo = parse_topology("Ring(2)_FC(4)", [100.0, 50.0])
+        config = SystemConfig(topology=topo, invariants=InvariantConfig())
+        plan = plan_folding(self._traces(topo), config)
+        assert not plan.active
+        assert plan.report.reason == ("invariant checker observes "
+                                      "per-rank state")
+
+    def test_explicit_off_disables_folding(self):
+        topo = parse_topology("Ring(2)_FC(4)", [100.0, 50.0])
+        config = SystemConfig(topology=topo, folding="off")
+        plan = plan_folding(self._traces(topo), config)
+        assert not plan.active
+        assert plan.report.reason == "disabled by config"
+
+    def test_unordered_trace_dict_disables_folding(self):
+        topo = parse_topology("Ring(2)_FC(4)", [100.0, 50.0])
+        traces = self._traces(topo)
+        shuffled = dict(sorted(traces.items(), key=lambda kv: -kv[0]))
+        plan = plan_folding(shuffled, SystemConfig(topology=topo))
+        assert not plan.active
+        assert plan.report.reason == "traces not in ascending rank order"
+
+    def test_fully_heterogeneous_traces_disable_folding(self):
+        topo = parse_topology("Ring(2)_FC(4)", [100.0, 50.0])
+        traces = self._traces(topo)
+        for rank, trace in traces.items():
+            trace.node(0).flops += rank
+        plan = plan_folding(traces, SystemConfig(topology=topo))
+        assert not plan.active
+        assert plan.report.reason == "no foldable classes"
+
+    def test_single_trace_disables_folding(self):
+        topo = parse_topology("Ring(2)_FC(4)", [100.0, 50.0])
+        traces = {0: self._traces(topo)[0]}
+        plan = plan_folding(traces, SystemConfig(topology=topo))
+        assert not plan.active
+        assert plan.report.reason == "single trace"
+
+    def test_sendrecv_rank_stays_a_singleton_without_global_disable(self):
+        """Point-to-point traffic is *per-rank* asymmetry: the affected
+        ranks stay unfolded while the symmetric rest still folds."""
+        topo = parse_topology("Ring(2)_FC(4)", [100.0, 50.0])
+        traces = self._traces(topo)
+        nodes = [copy.deepcopy(n) for n in traces[3].nodes]
+        nodes.append(ETNode(3, NodeType.COMM_SEND, name="p2p",
+                            tensor_bytes=KiB, deps=(2,), peer=4, tag=9))
+        traces[3] = ExecutionTrace(3, nodes)
+        plan = plan_folding(traces, SystemConfig(topology=topo))
+        assert plan.active
+        assert plan.report.asymmetric_ranks == 1
+        assert plan.class_members[3] == (3,)
+
+    def test_involved_npus_override_stays_a_singleton(self):
+        topo = parse_topology("Ring(2)_FC(4)", [100.0, 50.0])
+        traces = self._traces(topo)
+        traces[5].node(1).involved_npus = (1, 3, 5, 7)
+        plan = plan_folding(traces, SystemConfig(topology=topo))
+        assert plan.active
+        assert plan.report.asymmetric_ranks == 1
+        assert plan.class_members[5] == (5,)
+
+    def test_faulted_run_still_byte_identical_auto_vs_off(self):
+        """Even when auto falls back to unfolded, auto == off exactly."""
+        topo = parse_topology("Ring(2)_FC(4)", [100.0, 50.0])
+        schedule = FaultSchedule((FaultSpec(
+            kind=FaultKind.STRAGGLER, start_ns=0.0, duration_ns=1e6,
+            npu=1, factor=3.0),))
+        doc_auto, report = _doc(self._traces(topo), topo, "analytical",
+                                "auto", faults=schedule)
+        topo_b = parse_topology("Ring(2)_FC(4)", [100.0, 50.0])
+        doc_off, _ = _doc(self._traces(topo_b), topo_b, "analytical",
+                          "off", faults=schedule)
+        assert not report.active
+        assert doc_auto == doc_off
+
+
+class TestReconstruction:
+    def test_counters_match_unfolded_run_exactly(self):
+        topo = parse_topology("Ring(4)_Ring(2)", [150.0, 75.0])
+        traces = _replicated(topo.num_npus, CollectiveType.ALL_GATHER,
+                             32 * KiB, (0,))
+        config_auto = SystemConfig(topology=topo, folding="auto")
+        config_off = SystemConfig(topology=topo, folding="off")
+        res_auto = Simulator(copy.deepcopy(traces), config_auto).run()
+        res_off = Simulator(traces, config_off).run()
+        assert res_auto.nodes_executed == res_off.nodes_executed
+        assert res_auto.events_processed == res_off.events_processed
+        assert res_auto.total_time_ns == res_off.total_time_ns
+        assert len(res_auto.per_npu_breakdown) == len(
+            res_off.per_npu_breakdown)
+
+    def test_collective_records_list_full_membership(self):
+        topo = parse_topology("Ring(2)_FC(4)", [100.0, 50.0])
+        traces = _replicated(topo.num_npus, CollectiveType.ALL_REDUCE,
+                             64 * KiB, (1,))
+        result = Simulator(traces, SystemConfig(topology=topo)).run()
+        assert result.folding.active
+        for record in result.collectives:
+            assert len(record.members) == record.group_size
+            assert list(record.members) == sorted(record.members)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.network import BuildingBlock, DimSpec, MultiDimTopology, TopologyError, parse_topology
+from repro.network import (
+    BuildingBlock,
+    CommGroup,
+    CoordinateError,
+    DimSpec,
+    MultiDimTopology,
+    TopologyError,
+    parse_topology,
+)
 
 
 def _conv4d():
@@ -84,6 +92,127 @@ class TestCoordinates:
             topo.npu_id((2, 0, 0, 0))
         with pytest.raises(TopologyError):
             topo.npu_id((0, 0, 0))
+
+
+class TestCoordinateError:
+    def test_structured_fields_name_the_offending_dim(self):
+        topo = _conv4d()  # shape (2, 8, 8, 4)
+        with pytest.raises(CoordinateError) as exc_info:
+            topo.npu_id((0, 8, 0, 0))
+        err = exc_info.value
+        assert err.dim_index == 1
+        assert err.coordinate == 8
+        assert err.size == 8
+
+    def test_negative_coordinate_rejected(self):
+        topo = _conv4d()
+        with pytest.raises(CoordinateError) as exc_info:
+            topo.npu_id((0, 0, -1, 0))
+        err = exc_info.value
+        assert err.dim_index == 2
+        assert err.coordinate == -1
+
+    def test_message_spells_out_the_valid_range(self):
+        topo = _conv4d()
+        with pytest.raises(
+                CoordinateError,
+                match=r"coordinate 4 out of range for dimension 3 "
+                      r"\(size 4; valid range 0\.\.3\)"):
+            topo.npu_id((0, 0, 0, 4))
+
+    def test_never_wraps_modulo(self):
+        # A wrapped coordinate would alias a valid NPU id; it must raise.
+        topo = parse_topology("Ring(4)", [10])
+        with pytest.raises(CoordinateError):
+            topo.npu_id((4,))
+        with pytest.raises(CoordinateError):
+            topo.npu_id((-4,))
+
+    def test_is_a_topology_error(self):
+        # Existing callers catching TopologyError keep working.
+        assert issubclass(CoordinateError, TopologyError)
+
+    def test_wrong_arity_stays_plain_topology_error(self):
+        topo = _conv4d()
+        with pytest.raises(TopologyError) as exc_info:
+            topo.npu_id((0, 0))
+        assert not isinstance(exc_info.value, CoordinateError)
+
+
+class TestCommGroup:
+    def test_matches_group_across_dims(self):
+        topo = _conv4d()
+        for npu in (0, 5, 311, 511):
+            for dims in [(0,), (1,), (3,), (0, 1), (1, 3), (0, 2, 3)]:
+                group = topo.comm_group(npu, dims)
+                assert group.members() == topo.group_across_dims(npu, dims)
+
+    def test_closed_form_rep_and_size(self):
+        topo = _conv4d()
+        for npu in (0, 17, 442):
+            for dims in [(0,), (2,), (1, 2), (0, 1, 2, 3)]:
+                group = topo.comm_group(npu, dims)
+                assert group.rep == min(group.members())
+                assert group.size == len(group.members())
+
+    def test_membership_without_materialization(self):
+        topo = _conv4d()
+        group = topo.comm_group(7, (1, 2))
+        expected = set(topo.group_across_dims(7, (1, 2)))
+        for npu in range(topo.num_npus):
+            assert (npu in group) == (npu in expected)
+        # Membership tests above must not have materialized the list.
+        assert group._members == ()
+
+    def test_intersection(self):
+        topo = _conv4d()
+        group = topo.comm_group(0, (0,))
+        assert group.intersection([0, 1, 2, 3]) == {0, 1}
+        assert group.intersection(iter(range(512))) == {0, 1}
+
+    def test_duplicate_and_unsorted_dims_normalized(self):
+        topo = _conv4d()
+        assert topo.comm_group(9, (2, 0, 2)) == topo.comm_group(9, (0, 2))
+
+    def test_equal_groups_hash_alike(self):
+        topo = _conv4d()
+        a = topo.comm_group(0, (1,))
+        b = topo.comm_group(2, (1,))  # same communicator, other member
+        assert a == b
+        assert hash(a) == hash(b)
+        assert topo.comm_group(0, (0,)) != topo.comm_group(0, (1,))
+
+    def test_iteration_yields_sorted_members(self):
+        topo = _conv4d()
+        group = topo.comm_group(100, (0, 3))
+        assert list(group) == sorted(group.members())
+
+    def test_rejects_bad_inputs(self):
+        topo = _conv4d()
+        with pytest.raises(TopologyError):
+            topo.comm_group(0, (4,))
+        with pytest.raises(TopologyError):
+            topo.group_rep(512, (0,))
+        with pytest.raises(TopologyError):
+            topo.group_size((7,))
+
+    def test_group_size_closed_form(self):
+        topo = _conv4d()  # shape (2, 8, 8, 4)
+        assert topo.group_size(()) == 1
+        assert topo.group_size((0,)) == 2
+        assert topo.group_size((1, 2)) == 64
+        assert topo.group_size((0, 1, 2, 3)) == 512
+
+    def test_million_npu_group_is_cheap(self):
+        # The whole point: symbolic groups never touch O(npus) state.
+        topo = parse_topology("Ring(2)_FC(8)_Ring(8)_Switch(8192)",
+                              [250, 200, 100, 50])
+        assert topo.num_npus == 1_048_576
+        group = topo.comm_group(1_000_000, (3,))
+        assert group.size == 8192
+        assert 1_000_000 in group
+        assert group.rep == topo.group_rep(1_000_000, (3,))
+        assert isinstance(group, CommGroup)
 
 
 class TestGroups:
