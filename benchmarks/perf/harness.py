@@ -15,6 +15,10 @@ Three benchmark families, all pure functions returning plain dicts:
   A/B of an event-bound scenario with the seed engine patched in.
 - :func:`bench_backend_speedup` — wall-clock gap between the analytical
   and Garnet-lite backends on the Sec. IV-C torus experiment.
+- :func:`bench_adaptive` — the adaptive granularity controller
+  (:mod:`repro.network.adaptive`) against pure packet simulation on the
+  contended Ring(8) all-to-all reference scenario: accuracy band,
+  event reduction, and wall-clock speedup.
 - :func:`bench_campaign` — the sweep/campaign engine
   (:mod:`repro.campaign`): serial vs legacy cold-spawn fan-out vs the
   persistent warm worker fleet vs warm content-addressed cache on a
@@ -38,7 +42,12 @@ from typing import Callable, Dict, List
 import repro
 from repro.events import EventEngine
 from repro.events._seed_reference import SeedEventEngine
-from repro.network import AnalyticalNetwork, GarnetLiteNetwork, parse_topology
+from repro.network import (
+    AdaptiveFlowNetwork,
+    AnalyticalNetwork,
+    GarnetLiteNetwork,
+    parse_topology,
+)
 from repro.system import SendRecvCollectiveExecutor
 from repro.trace import CollectiveType
 from repro.workload import (
@@ -540,6 +549,63 @@ def bench_backend_speedup(quick: bool = False) -> Dict[str, object]:
     }
 
 
+# -- adaptive granularity ---------------------------------------------------------
+
+
+def _contended_alltoall(backend_cls, payload: int, **kw) -> Dict[str, object]:
+    """Ring(8) all-to-all — the adaptive pillar's contended scenario."""
+    topo = parse_topology("Ring(8)", [100.0], latencies_ns=[100.0])
+    engine = EventEngine()
+    net = backend_cls(engine, topo, **kw)
+    executor = SendRecvCollectiveExecutor(engine, net)
+    out: Dict[str, float] = {}
+    executor.run_alltoall(list(range(topo.num_npus)), payload,
+                          on_complete=lambda t: out.update(t=t))
+    start = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - start
+    return {"collective_ns": out["t"], "wall_s": round(wall, 4),
+            "events": engine.events_processed, "net": net}
+
+
+def bench_adaptive(quick: bool = False) -> Dict[str, object]:
+    """Adaptive granularity vs pure packet on the contended scenario.
+
+    ISSUE 10's headline number: on Ring(8) all-to-all (multi-hop routes
+    genuinely converge onto shared links) the runtime controller must
+    stay within the garnet error band while simulating a small fraction
+    of the pure-packet event count.  Payloads match the adaptive
+    pillar's contended axis — large enough that the backends' constant
+    ~hop-latency offset is small against the serialization time.
+    """
+    payload = 2 * MiB if quick else 4 * MiB
+    packet = 4096
+    garnet = _contended_alltoall(GarnetLiteNetwork, payload,
+                                 packet_bytes=packet)
+    adaptive = _contended_alltoall(
+        AdaptiveFlowNetwork, payload, escalation_threshold=1.0,
+        deescalation_hysteresis=1.0, escalation_packet_bytes=packet)
+    net = adaptive.pop("net")
+    garnet.pop("net")
+    rel = (abs(adaptive["collective_ns"] - garnet["collective_ns"])
+           / garnet["collective_ns"])
+    return {
+        "scenario": "Ring(8) all-to-all, threshold=1, hysteresis=1",
+        "payload_bytes": payload,
+        "packet_bytes": packet,
+        "garnet_lite": garnet,
+        "adaptive": adaptive,
+        "rel_error": round(rel, 6),
+        "event_reduction": round(
+            garnet["events"] / max(1, adaptive["events"]), 1),
+        "wall_clock_speedup": round(
+            garnet["wall_s"] / max(adaptive["wall_s"], 1e-9), 1),
+        "escalations": net.escalations,
+        "deescalations": net.deescalations,
+        "granularity_handoffs": net.handoffs,
+    }
+
+
 def run_all(quick: bool = False) -> Dict[str, object]:
     """The full perf sweep as one JSON-serialisable dict."""
     import platform
@@ -555,6 +621,7 @@ def run_all(quick: bool = False) -> Dict[str, object]:
         "event_kernel": bench_event_kernel(quick=quick),
         "scaling": bench_scaling(quick=quick),
         "backend_speedup": bench_backend_speedup(quick=quick),
+        "adaptive": bench_adaptive(quick=quick),
         "telemetry_overhead": bench_telemetry_overhead(quick=quick),
         "invariant_overhead": bench_invariant_overhead(quick=quick),
         "campaign": bench_campaign(quick=quick),

@@ -50,6 +50,10 @@ def main(argv=None) -> int:
           f"({ab['end_to_end_speedup']}x)")
     print(f"  backend speedup: {results['backend_speedup']['wall_clock_speedup']}x "
           f"wall-clock (analytical vs garnet-lite)")
+    adaptive = results["adaptive"]
+    print(f"  adaptive granularity: {adaptive['event_reduction']}x fewer "
+          f"events than pure packet at rel error {adaptive['rel_error']} "
+          f"({adaptive['escalations']} escalations)")
     campaign = results["campaign"]
     print(f"  campaign ({campaign['points']} points, {campaign['cpus']} cpus): "
           f"serial {campaign['serial_wall_s']}s, "

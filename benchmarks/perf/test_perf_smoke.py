@@ -20,6 +20,7 @@ import json
 from pathlib import Path
 
 from perf.harness import (
+    bench_adaptive,
     bench_backend_speedup,
     bench_campaign,
     bench_event_kernel,
@@ -60,6 +61,12 @@ MILLION_NPU_WALL_CEILING_S = 9.0
 # Full runs only: the 32K-NPU row against the frozen pre-optimization
 # baseline (3.113 s committed before the symbolic-group work).
 PRE_FOLD_32K_SPEEDUP_FLOOR = 20.0
+# Adaptive granularity (ISSUE 10): on the contended reference scenario
+# the controller must simulate at most 1/3 of the pure-packet event
+# count while staying within the garnet error band (the same REL_PACKET
+# tolerance the conformance matrix uses for fluid-vs-packet pairs).
+ADAPTIVE_EVENT_REDUCTION_FLOOR = 3.0
+ADAPTIVE_REL_BAND = 0.02
 
 
 def test_event_kernel_speedup_gates():
@@ -113,6 +120,17 @@ def test_backend_speedup_direction():
     analytical_ns = speedup["analytical"]["collective_ns"]
     garnet_ns = speedup["garnet_lite"]["collective_ns"]
     assert abs(garnet_ns - analytical_ns) / analytical_ns < 0.05
+
+
+def test_adaptive_granularity_gates():
+    """Adaptive vs pure packet: within the band at a fraction of the
+    events, with real escalations (the controller actually ran)."""
+    report = bench_adaptive(quick=True)
+    assert report["rel_error"] <= ADAPTIVE_REL_BAND, report
+    assert (report["event_reduction"]
+            >= ADAPTIVE_EVENT_REDUCTION_FLOOR), report
+    assert report["escalations"] > 0, report
+    assert report["adaptive"]["events"] < report["garnet_lite"]["events"]
 
 
 def _overhead_within_budget(bench, budget, attempts=3):
@@ -205,7 +223,7 @@ def test_committed_baseline_is_fresh_and_complete():
     data = json.loads(path.read_text())
     assert data["quick"] is False, "committed baseline must be a full run"
     for key in ("event_kernel", "scaling", "backend_speedup",
-                "telemetry_overhead", "campaign"):
+                "adaptive", "telemetry_overhead", "campaign"):
         assert key in data, f"baseline missing section {key!r}"
     assert data["event_kernel"]["batch"]["speedup"] >= BATCH_SPEEDUP_FLOOR
     assert data["event_kernel"]["chain"]["speedup"] >= CHAIN_SPEEDUP_FLOOR
@@ -221,6 +239,11 @@ def test_committed_baseline_is_fresh_and_complete():
     assert scaling["flatness"] <= SCALING_FLATNESS_CEILING, scaling
     assert (scaling["speedup_vs_pre_fold_32k"]
             >= PRE_FOLD_32K_SPEEDUP_FLOOR), scaling
+    adaptive = data["adaptive"]
+    assert adaptive["rel_error"] <= ADAPTIVE_REL_BAND, adaptive
+    assert (adaptive["event_reduction"]
+            >= ADAPTIVE_EVENT_REDUCTION_FLOOR), adaptive
+    assert adaptive["escalations"] > 0, adaptive
     telemetry = data["telemetry_overhead"]
     assert telemetry["bit_identical"] is True
     assert telemetry["overhead"] < TELEMETRY_OVERHEAD_BUDGET

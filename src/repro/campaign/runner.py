@@ -120,6 +120,9 @@ FIELD_TYPES: Dict[str, Callable[[Any], Any]] = {
     "backend": str,
     "packet_bytes": int,
     "train_packets": int,
+    "granularity": str,
+    "escalation_threshold": float,
+    "deescalation_hysteresis": float,
     "chunks": int,
     "mp": int,
     "dp": int,

@@ -302,10 +302,12 @@ def _telemetry_config(args: argparse.Namespace):
         level = TraceLevel.parse(args.trace_level)
     except TelemetryError as exc:
         raise SystemExit(f"error: {exc}")
-    if level is TraceLevel.PACKET and args.backend == "analytical":
+    if (level is TraceLevel.PACKET and args.backend == "analytical"
+            and not getattr(args, "granularity", "")):
         raise SystemExit(
             "error: --trace-level packet requires --backend garnet or flow "
-            "(the analytical backend does not model individual packets)")
+            "(or a --granularity policy; the analytical backend does not "
+            "model individual packets)")
     if level is TraceLevel.OFF and not getattr(args, "metrics_out", ""):
         return None
     return TelemetryConfig(trace_level=level)
@@ -337,6 +339,10 @@ def simulate_from_args(args: argparse.Namespace) -> Tuple[object, object, object
         network_backend=args.backend,
         packet_bytes=args.packet_bytes,
         train_packets=args.train_packets,
+        granularity=getattr(args, "granularity", ""),
+        escalation_threshold=getattr(args, "escalation_threshold", 4.0),
+        deescalation_hysteresis=getattr(
+            args, "deescalation_hysteresis", 1.0),
         compute=repro.RooflineCompute(
             peak_tflops=args.peak_tflops,
             mem_bandwidth_gbps=args.hbm_gbps,
@@ -350,9 +356,10 @@ def simulate_from_args(args: argparse.Namespace) -> Tuple[object, object, object
     )
     resilience = None
     if args.faults or args.fault_seed is not None:
-        if args.backend != "analytical":
+        if args.backend != "analytical" or getattr(args, "granularity", ""):
             raise SystemExit(
-                "error: --faults/--fault-seed require --backend analytical")
+                "error: --faults/--fault-seed require --backend analytical "
+                "(and no --granularity policy)")
         import dataclasses
 
         # Fault-free baseline: the exact time-lost reference, and the
@@ -529,7 +536,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.validate import run_conformance_suite, run_metamorphic_suite
 
     quick = not args.full
-    suites = (("invariants", "metamorphic", "conformance", "frontend")
+    suites = (("invariants", "metamorphic", "conformance", "adaptive",
+               "frontend")
               if args.suite == "all" else (args.suite,))
     doc = {"schema_version": 1, "suites": list(suites), "quick": quick}
     failed = 0
@@ -582,6 +590,24 @@ def _cmd_validate(args: argparse.Namespace) -> int:
               f"{len(report.failures)} failed)")
         for case in report.failures[:10]:
             print(f"  [{case.scenario}] {case.message}")
+        if not report.passed:
+            failed += 1
+
+    if "adaptive" in suites:
+        from repro.validate import run_adaptive_suite
+
+        report = run_adaptive_suite(quick=quick)
+        doc["adaptive"] = report.to_dict()
+        status = "ok" if report.passed else "FAIL"
+        contended = [c for c in report.cases if c.axis == "contended"]
+        reduction = min((c.event_reduction for c in contended),
+                        default=0.0)
+        print(f"adaptive    : {status}  ({len(report.cases)} cases, "
+              f"{len(report.failures)} failed; contended event "
+              f"reduction {reduction:.1f}x)")
+        for case in report.failures[:10]:
+            print(f"  [{case.axis}/{case.scenario}/{case.algorithm}] "
+                  f"{case.message}")
         if not report.passed:
             failed += 1
 
@@ -747,6 +773,23 @@ def _add_run_flags(parser: argparse.ArgumentParser, required: bool = True) -> No
                         help="garnet packet-train coalescing factor; > 1 "
                              "trades contention granularity for simulation "
                              "speed on large payloads")
+    parser.add_argument("--granularity",
+                        choices=("", "fluid", "packet", "adaptive"),
+                        default="",
+                        help="simulation granularity policy: 'fluid' (flow-"
+                             "level), 'packet' (garnet-lite), or 'adaptive' "
+                             "(runtime per-link fluid->packet escalation "
+                             "under contention with hysteresis-based "
+                             "de-escalation); default: --backend decides")
+    parser.add_argument("--escalation-threshold", type=float, default=4.0,
+                        help="adaptive granularity: escalate a link to "
+                             "packet simulation when it carries more than "
+                             "this many concurrent flows (0 = always, "
+                             "inf = never)")
+    parser.add_argument("--deescalation-hysteresis", type=float, default=1.0,
+                        help="adaptive granularity: de-escalate a packet-"
+                             "mode link when its flow count drops to "
+                             "threshold minus this margin or below")
     parser.add_argument("--folding", choices=("auto", "off"), default="auto",
                         help="symmetry folding: 'auto' simulates one rank "
                              "per equivalence class of symmetric ranks and "
@@ -899,7 +942,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_flags(validate, required=False)
     validate.add_argument("--suite",
                           choices=("invariants", "metamorphic",
-                                   "conformance", "frontend", "all"),
+                                   "conformance", "adaptive", "frontend",
+                                   "all"),
                           default="all",
                           help="which pillar to run (default: all)")
     validate.add_argument("--full", action="store_true",

@@ -49,6 +49,20 @@ class SystemConfig:
             trades contention granularity for simulation speed on large
             payloads (see :class:`~repro.network.garnetlite.
             GarnetLiteNetwork`).
+        granularity: Simulation granularity policy — ``""`` (default;
+            ``network_backend`` picks the model directly), ``"fluid"``
+            (flow-level), ``"packet"`` (garnet-lite), or ``"adaptive"``
+            (the HyGra-style runtime controller,
+            :class:`repro.network.adaptive.AdaptiveFlowNetwork`:
+            per-link fluid -> packet escalation under contention with
+            hysteresis-based de-escalation).
+        escalation_threshold: Adaptive mode only — a link escalates to
+            packet granularity when it carries more than this many
+            concurrent flows (``0`` escalates everything, ``inf`` never
+            escalates).
+        deescalation_hysteresis: Adaptive mode only — a packet-mode link
+            de-escalates when its flow count drops to
+            ``escalation_threshold - deescalation_hysteresis`` or below.
         compute: Roofline NPU model.
         local_memory: HBM model for LOCAL memory nodes.
         remote_memory: Model for REMOTE memory nodes; required if any
@@ -83,6 +97,9 @@ class SystemConfig:
     network_backend: str = "analytical"
     packet_bytes: int = 0
     train_packets: int = 1
+    granularity: str = ""
+    escalation_threshold: float = 4.0
+    deescalation_hysteresis: float = 1.0
     compute: RooflineCompute = field(
         default_factory=lambda: RooflineCompute(
             peak_tflops=DEFAULT_PEAK_TFLOPS, mem_bandwidth_gbps=DEFAULT_HBM_GBPS
@@ -118,11 +135,47 @@ class SystemConfig:
         if self.train_packets < 1:
             raise ValueError(
                 f"train_packets must be >= 1, got {self.train_packets}")
-        if self.faults and self.network_backend != "analytical":
+        if self.granularity not in ("", "fluid", "packet", "adaptive"):
+            raise ValueError(
+                f"granularity must be '', 'fluid', 'packet', or "
+                f"'adaptive', got {self.granularity!r}")
+        if self.granularity in ("fluid", "adaptive") \
+                and self.network_backend == "garnet":
+            raise ValueError(
+                f"granularity {self.granularity!r} conflicts with "
+                "network_backend 'garnet' (it selects a flow-model base)")
+        if self.granularity == "packet" and self.network_backend == "flow":
+            raise ValueError(
+                "granularity 'packet' conflicts with network_backend "
+                "'flow' (it selects the garnet-lite backend)")
+        threshold = self.escalation_threshold
+        if threshold != threshold or threshold < 0:  # NaN or negative
+            raise ValueError(
+                f"escalation_threshold must be >= 0 (inf allowed), "
+                f"got {threshold}")
+        hysteresis = self.deescalation_hysteresis
+        if not (0 <= hysteresis < float("inf")):
+            raise ValueError(
+                f"deescalation_hysteresis must be finite and >= 0, "
+                f"got {hysteresis}")
+        if self.faults and (self.network_backend != "analytical"
+                            or self.granularity):
             raise ValueError(
                 "fault injection requires the analytical network backend, "
-                f"got {self.network_backend!r}")
+                f"got backend {self.network_backend!r} / "
+                f"granularity {self.granularity!r}")
         # Fail fast on bad scheduler names rather than at first collective.
         from repro.system.scheduler import make_scheduler
 
         make_scheduler(self.scheduler)
+
+    def effective_backend(self) -> str:
+        """The network model actually simulated, after the granularity
+        policy (if any) overrides the raw ``network_backend`` choice."""
+        if self.granularity == "fluid":
+            return "flow"
+        if self.granularity == "packet":
+            return "garnet"
+        if self.granularity == "adaptive":
+            return "adaptive"
+        return self.network_backend

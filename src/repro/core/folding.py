@@ -182,6 +182,11 @@ def plan_folding(
         return disabled("telemetry observes per-rank state")
     if config.invariants is not None:
         return disabled("invariant checker observes per-rank state")
+    if getattr(config, "granularity", "") == "adaptive":
+        # Escalation is runtime per-link state: folding simulates one
+        # rank per class, which changes which links see contention and
+        # therefore which segments escalate — not fold-compatible.
+        return disabled("adaptive granularity observes per-link contention")
     order = tuple(traces)
     if list(order) != sorted(order):
         return disabled("traces not in ascending rank order")

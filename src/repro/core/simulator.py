@@ -38,7 +38,8 @@ class Simulator:
         if self.folding.active:
             traces = self.folding.folded_traces
         self.engine = EventEngine()
-        if config.network_backend == "garnet":
+        backend = config.effective_backend()
+        if backend == "garnet":
             from repro.network.garnetlite import (
                 DEFAULT_PACKET_BYTES,
                 GarnetLiteNetwork,
@@ -48,14 +49,18 @@ class Simulator:
                 self.engine, config.topology,
                 packet_bytes=config.packet_bytes or DEFAULT_PACKET_BYTES,
                 train_packets=config.train_packets)
-        elif config.network_backend == "flow":
+        elif backend == "adaptive":
+            from repro.network.adaptive import AdaptiveFlowNetwork
+
+            self.network = AdaptiveFlowNetwork(
+                self.engine, config.topology,
+                escalation_threshold=config.escalation_threshold,
+                deescalation_hysteresis=config.deescalation_hysteresis,
+                escalation_packet_bytes=config.packet_bytes or 4096)
+        elif backend == "flow":
             from repro.network.flowlevel import FlowLevelNetwork
 
-            kwargs = {}
-            if config.packet_bytes:
-                kwargs["escalation_packet_bytes"] = config.packet_bytes
-            self.network = FlowLevelNetwork(self.engine, config.topology,
-                                            **kwargs)
+            self.network = FlowLevelNetwork(self.engine, config.topology)
         else:
             self.network = AnalyticalNetwork(self.engine, config.topology)
         self.scheduler = make_scheduler(config.scheduler)

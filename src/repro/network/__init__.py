@@ -26,8 +26,10 @@ from repro.network.api import Message, NetworkBackend
 from repro.network.analytical import AnalyticalNetwork
 from repro.network.flowlevel import FlowLevelNetwork
 from repro.network.garnetlite import GarnetLiteNetwork
+from repro.network.adaptive import AdaptiveFlowNetwork
 
 __all__ = [
+    "AdaptiveFlowNetwork",
     "AnalyticalNetwork",
     "BuildingBlock",
     "CommGroup",

@@ -24,7 +24,7 @@ from repro.network.topology import MultiDimTopology, TopologyError
 class _FlowLink:
     """A directed link: capacity shared by the flows crossing it."""
 
-    __slots__ = ("capacity", "latency_ns", "flows")
+    __slots__ = ("capacity", "latency_ns", "flows", "key")
 
     def __init__(self, bandwidth_gbps: float, latency_ns: float) -> None:
         self.capacity = bandwidth_gbps  # GB/s == bytes/ns
@@ -33,12 +33,15 @@ class _FlowLink:
         # so a plain set would iterate in allocator-dependent order and
         # same-timestamp completions would drain nondeterministically.
         self.flows: Dict["_Flow", None] = {}
+        # Graph key, filled in by backends that need to name links in
+        # telemetry (the lazy graph's on_create hook sets it).
+        self.key = None
 
 
 class _Flow:
     """One in-flight message (or one packet-granularity sub-flow)."""
 
-    __slots__ = ("message", "on_sent", "links", "remaining", "rate",
+    __slots__ = ("message", "on_sent", "links", "size", "remaining", "rate",
                  "prop_latency_ns", "finish_threshold", "group")
 
     def __init__(self, message: Message, on_sent: Optional[Callable[[], None]],
@@ -47,8 +50,9 @@ class _Flow:
         self.message = message
         self.on_sent = on_sent
         self.links = links
-        self.remaining = float(max(
+        self.size = float(max(
             1, message.size_bytes if size_bytes is None else size_bytes))
+        self.remaining = self.size
         self.rate = 0.0
         self.prop_latency_ns = sum(link.latency_ns for link in links)
         # Rate * time accumulates relative float error; declare the flow
@@ -92,37 +96,22 @@ class FlowLevelNetwork(NetworkBackend):
     at that rate, and continue.  Between events every flow progresses
     linearly at its rate, so only the earliest completion needs an event.
 
+    Granularity escalation (the static opt-in that used to live here as
+    ``escalation_threshold``) moved to the runtime controller in
+    :class:`repro.network.adaptive.AdaptiveFlowNetwork`, which subclasses
+    this backend and shares its :class:`_SubFlowGroup` handoff protocol.
+
     Args:
         engine: The shared event engine.
         topology: Physical topology, expanded into the explicit link graph.
-        escalation_threshold: HyGra-style granularity escalation — when a
-            new message's route crosses a link already carrying at least
-            this many flows, the fluid approximation is judged too coarse
-            for the contention and the message is executed as sequential
-            packet-granularity sub-flows instead (rates re-solved at every
-            packet boundary).  ``None`` (the default) disables escalation:
-            every message is one fluid flow, the exact reference
-            behaviour.  Uncontended routes always stay fluid, so the
-            packet-level event cost is paid only where fidelity buys
-            accuracy.
-        escalation_packet_bytes: Segment size for escalated messages.
     """
 
     def __init__(
         self,
         engine: EventEngine,
         topology: MultiDimTopology,
-        escalation_threshold: Optional[int] = None,
-        escalation_packet_bytes: int = 4096,
     ) -> None:
         super().__init__(engine, topology)
-        if escalation_threshold is not None and escalation_threshold < 1:
-            raise ValueError(
-                f"escalation_threshold must be >= 1, got {escalation_threshold}")
-        if escalation_packet_bytes <= 0:
-            raise ValueError(
-                f"escalation_packet_bytes must be positive, "
-                f"got {escalation_packet_bytes}")
         # Links materialize on first touch (LazyLinkGraph); construction
         # cost is independent of topology size.
         self._links = LazyLinkGraph(topology, lambda bw, lat: _FlowLink(bw, lat))
@@ -131,8 +120,6 @@ class FlowLevelNetwork(NetworkBackend):
         self._last_update = 0.0
         self._completion_event: Optional[Event] = None
         self.rate_recomputations = 0
-        self.escalation_threshold = escalation_threshold
-        self.escalation_packet_bytes = escalation_packet_bytes
         self.granularity_escalations = 0
         # (src, dest) -> per-hop links; routes are pure topology functions.
         self._path_cache: Dict[Tuple[int, int], List[_FlowLink]] = {}
@@ -158,32 +145,11 @@ class FlowLevelNetwork(NetworkBackend):
     def _transmit(self, message: Message, on_sent: Optional[Callable[[], None]]) -> None:
         links = self._link_path(message.src, message.dest)
         self._advance_to_now()
-        if (self.escalation_threshold is not None
-                and message.size_bytes > self.escalation_packet_bytes
-                and any(len(link.flows) >= self.escalation_threshold
-                        for link in links)):
-            self.granularity_escalations += 1
-            self._start_escalated(message, on_sent, links)
-        else:
-            flow = _Flow(message, on_sent, links)
-            self._flows[flow] = None
-            for link in links:
-                link.flows[flow] = None
+        flow = _Flow(message, on_sent, links)
+        self._flows[flow] = None
+        for link in links:
+            link.flows[flow] = None
         self._reallocate()
-
-    def _start_escalated(self, message: Message,
-                         on_sent: Optional[Callable[[], None]],
-                         links: List[_FlowLink]) -> None:
-        """Split a contended message into sequential packet sub-flows."""
-        packet = self.escalation_packet_bytes
-        sizes: List[int] = []
-        remaining = message.size_bytes
-        while remaining > 0:
-            size = min(packet, remaining)
-            sizes.append(size)
-            remaining -= size
-        group = _SubFlowGroup(message, on_sent, links, sizes)
-        self._launch_next_subflow(group)
 
     def _launch_next_subflow(self, group: _SubFlowGroup) -> None:
         size = group.sizes[group.next_idx]
@@ -260,7 +226,7 @@ class FlowLevelNetwork(NetworkBackend):
             self._completion_event = self.engine.schedule(
                 soonest, self._complete_due_flows)
 
-    def _complete_due_flows(self) -> None:
+    def _complete_due_flows(self) -> List[_Flow]:
         self._completion_event = None
         self._advance_to_now()
         finished = [f for f in self._flows if f.finished]
@@ -285,6 +251,7 @@ class FlowLevelNetwork(NetworkBackend):
             self.engine.schedule(flow.prop_latency_ns, self._deliver,
                                  flow.message)
         self._reallocate()
+        return finished
 
     # -- introspection ------------------------------------------------------------
 

@@ -17,7 +17,20 @@ Three pillars (see ``docs/validation.md``):
 4. **Frontend gate** — :func:`run_frontend_suite` differentially checks
    the :mod:`repro.frontend` ingestion pipeline against the builtin
    analytic generators (the GPT-3 twin) and smoke-simulates the zoo.
+5. **Adaptive gate** — :func:`run_adaptive_suite` gates the adaptive
+   granularity controller (:mod:`repro.network.adaptive`): threshold=inf
+   bit-identical to fluid, threshold=0 equal to garnet-lite after the
+   closed-form saf correction, and the contended reference scenario
+   inside the garnet band at a fraction of the events.
 """
+
+from repro.validate.adaptive import (
+    ADAPTIVE_SCHEMA_VERSION,
+    EVENT_REDUCTION_FLOOR,
+    AdaptiveCase,
+    AdaptiveReport,
+    run_adaptive_suite,
+)
 
 from repro.validate.conformance import (
     CONFORMANCE_SCHEMA_VERSION,
@@ -53,7 +66,11 @@ from repro.validate.metamorphic import (
 )
 
 __all__ = [
+    "ADAPTIVE_SCHEMA_VERSION",
+    "AdaptiveCase",
+    "AdaptiveReport",
     "CONFORMANCE_SCHEMA_VERSION",
+    "EVENT_REDUCTION_FLOOR",
     "ConformanceCase",
     "ConformanceReport",
     "FRONTEND_SCHEMA_VERSION",
@@ -73,6 +90,7 @@ __all__ = [
     "REL_SAF",
     "RelationResult",
     "expected_collective_traffic",
+    "run_adaptive_suite",
     "run_conformance_suite",
     "run_folding_matrix",
     "run_frontend_suite",

@@ -363,6 +363,27 @@ class InvariantChecker:
                 f"{flow.packets_arrived} arrived packets of "
                 f"{flow.packets_total} sent", time_ns=now)
 
+    def check_granularity_handoff(self, message, before: float, after: float,
+                                  now: float) -> None:
+        """Adaptive handoff: a granularity flip conserves in-flight bytes.
+
+        Escalation converts a fluid flow's remaining bytes into packet
+        segments (``after`` may round up to whole bytes, < 1 B of
+        slack); de-escalation folds unsent segments back into one fluid
+        flow.  Anything beyond rounding slack means the controller
+        dropped or duplicated in-flight traffic at the switch.
+        """
+        self.checks += 1
+        tolerance = max(1.5, self.config.rel_tolerance * max(1.0, before))
+        if abs(after - before) > tolerance or after < 0 or not (
+                math.isfinite(before) and math.isfinite(after)):
+            self.record(
+                "network", "conservation",
+                f"granularity handoff of {message.src}->{message.dest} "
+                f"converted {before:.6g} in-flight bytes into "
+                f"{after:.6g}", time_ns=now, before_bytes=before,
+                after_bytes=after)
+
     def check_hiermem_access(self, model, size_bytes: int,
                              duration_ns: float) -> None:
         """HierMem pipeline: chunk counts balance the bytes they carry.
@@ -469,6 +490,42 @@ class InvariantChecker:
                 "network", "leak",
                 f"{len(network._flows)} flows still in flight at end of "
                 "run", time_ns=total_ns, flows=len(network._flows))
+        gran = getattr(network, "_gran", None)
+        if gran is not None:  # adaptive granularity controller
+            # Byte conservation across granularity handoffs: every byte a
+            # message delivered was attributed to exactly one granularity,
+            # so fluid + escalated must equal the delivered traffic total
+            # (slack: <= 1 B per message for the size-floor/segment
+            # rounding, <= 1 B per handoff for the ceil at conversion).
+            self.checks += 1
+            accounted = network.fluid_bytes + network.escalated_bytes
+            delivered = float(network.bytes_delivered)
+            slack = (2.0 * (network.messages_delivered + network.handoffs)
+                     + self.config.rel_tolerance * max(1.0, delivered))
+            if abs(accounted - delivered) > slack:
+                self.record(
+                    "network", "conservation",
+                    f"granularity byte attribution {accounted:.6g} B "
+                    f"(fluid {network.fluid_bytes:.6g} + escalated "
+                    f"{network.escalated_bytes:.6g}) does not conserve "
+                    f"the {delivered:.6g} B delivered",
+                    time_ns=total_ns, fluid_bytes=network.fluid_bytes,
+                    escalated_bytes=network.escalated_bytes,
+                    delivered_bytes=delivered)
+            # No stuck escalations: once traffic drains, any link whose
+            # de-escalation point is reachable (threshold - hysteresis
+            # >= 0) must have flipped back to fluid.
+            if (network.escalation_threshold
+                    - network.deescalation_hysteresis >= 0):
+                for state in gran.values():
+                    self.checks += 1
+                    if (state.mode == "packet" and not state.link.flows
+                            and not state.pending):
+                        self.record(
+                            "network", "leak",
+                            f"link {state.link.key!r} still escalated at "
+                            "end of run with no flows (missed "
+                            "de-escalation)", time_ns=total_ns)
 
     def _finalize_execution(self, execution, total_ns: float) -> None:
         self.checks += 1

@@ -13,6 +13,7 @@ import math
 
 import pytest
 
+import repro.network.adaptive as adaptive_mod
 import repro.network.analytical as analytical_mod
 import repro.network.flowlevel as flowlevel_mod
 import repro.network.garnetlite as garnetlite_mod
@@ -29,6 +30,7 @@ from repro.trace import (
     TensorLocation,
 )
 from repro.validate import InvariantConfig
+from repro.validate.adaptive import run_adaptive_suite
 from repro.validate.conformance import run_backend_pairs
 from repro.workload.generators import generate_single_collective
 
@@ -61,6 +63,14 @@ def _caught_by_conformance():
     except Exception:
         return True
     return any(not c.passed for c in cases)
+
+
+def _caught_by_adaptive():
+    try:
+        report = run_adaptive_suite(quick=True, check_invariants=True)
+    except Exception:
+        return True
+    return not report.passed
 
 
 def _hiermem_traces():
@@ -207,6 +217,44 @@ class TestBackendMutations:
         monkeypatch.setattr(garnetlite_mod.GarnetLiteNetwork,
                             "_segment_arrived", mutated)
         assert _caught_by_conformance()
+
+
+class TestAdaptiveControllerMutations:
+    """ISSUE 10 satellite: seeded granularity-controller bugs must be
+    caught by the adaptive pillar or the invariant sweep it runs."""
+
+    def test_inverted_threshold_comparison_caught(self, monkeypatch):
+        # Bug: the classic comparison flip — links escalate while
+        # *uncontended* and never when loaded.  threshold=inf then
+        # escalates everything, so the identity axis (bit-parity with
+        # the fluid backend) fails immediately.
+        monkeypatch.setattr(
+            adaptive_mod.AdaptiveFlowNetwork, "_should_escalate",
+            lambda self, n: n < self.escalation_threshold)
+        assert _caught_by_adaptive()
+
+    def test_dropped_inflight_bytes_on_handoff_caught(self, monkeypatch):
+        # Bug: the fluid->packet handoff segments only half the
+        # remaining bytes — in-flight data silently vanishes.  The
+        # byte-conservation invariant on the handoff (and the finalize
+        # sweep) must flag it.
+        original = adaptive_mod.AdaptiveFlowNetwork._segments
+
+        def mutated(self, size):
+            return original(self, max(1.0, size * 0.5))
+
+        monkeypatch.setattr(adaptive_mod.AdaptiveFlowNetwork,
+                            "_segments", mutated)
+        assert _caught_by_adaptive()
+
+    def test_missed_deescalation_caught(self, monkeypatch):
+        # Bug: de-escalation is a no-op, so links stay packet-mode
+        # forever once contention clears.  The finalize leak check
+        # ("still escalated at end of run with no flows") must fire.
+        monkeypatch.setattr(adaptive_mod.AdaptiveFlowNetwork,
+                            "_deescalate",
+                            lambda self, link, state: None)
+        assert _caught_by_adaptive()
 
 
 class TestMemoryMutations:

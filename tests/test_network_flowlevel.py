@@ -143,74 +143,21 @@ class TestValidation:
         assert net.active_flows == 0
 
 
-class TestGranularityEscalation:
-    """HyGra-style fidelity escalation on contended links (opt-in)."""
+class TestPureFluidContract:
+    """The base backend is pure fluid: escalation moved to the runtime
+    controller in ``repro.network.adaptive`` (see
+    tests/test_network_adaptive.py for the controller suite)."""
 
-    def _net(self, threshold=None, packet=1024):
-        engine = EventEngine()
-        topo = parse_topology("Ring(4)", [100.0], latencies_ns=[0.0])
-        return engine, FlowLevelNetwork(
-            engine, topo, escalation_threshold=threshold,
-            escalation_packet_bytes=packet)
-
-    def test_disabled_by_default(self):
-        engine, net = self._net()
-        assert net.escalation_threshold is None
-        net.sim_recv(1, 0, 64 * 1024, callback=lambda m: None)
-        net.sim_send(0, 1, 64 * 1024)
-        engine.run()
-        assert net.granularity_escalations == 0
-
-    def test_uncontended_route_stays_fluid(self):
-        engine, net = self._net(threshold=1)
-        net.sim_recv(1, 0, 64 * 1024, callback=lambda m: None)
-        net.sim_send(0, 1, 64 * 1024)
-        engine.run()
-        # First message saw an empty link: no escalation, few events.
-        assert net.granularity_escalations == 0
-        assert engine.events_processed < 10
-
-    def test_contended_route_escalates_to_packets(self):
-        engine, net = self._net(threshold=1, packet=1024)
-        done = []
-        for tag in (0, 1):
-            net.sim_recv(1, 0, 16 * 1024, tag=tag,
-                         callback=lambda m: done.append(engine.now))
-            net.sim_send(0, 1, 16 * 1024, tag=tag)
-        engine.run()
-        # Second message found the link busy: packet granularity.
-        assert net.granularity_escalations == 1
-        assert len(done) == 2
-        # 16 packets of the escalated message -> many more rate solves.
-        assert net.rate_recomputations >= 16
-
-    def test_escalated_message_time_matches_fluid(self):
-        """Sequential packet sub-flows serialize the same bytes over the
-        same links, so total completion time stays close to fluid."""
-        results = {}
-        for threshold in (None, 1):
-            engine, net = self._net(threshold=threshold)
-            done = []
-            for tag in (0, 1):
-                net.sim_recv(1, 0, 32 * 1024, tag=tag,
-                             callback=lambda m: done.append(engine.now))
-                net.sim_send(0, 1, 32 * 1024, tag=tag)
-            engine.run()
-            results[threshold] = max(done)
-        assert results[1] == pytest.approx(results[None], rel=0.05)
-
-    def test_small_messages_never_escalate(self):
-        engine, net = self._net(threshold=1, packet=4096)
-        for tag in (0, 1):
-            net.sim_recv(1, 0, 1024, tag=tag, callback=lambda m: None)
-            net.sim_send(0, 1, 1024, tag=tag)
-        engine.run()
-        assert net.granularity_escalations == 0
-
-    def test_invalid_parameters_rejected(self):
+    def test_no_static_escalation_params(self):
         engine = EventEngine()
         topo = parse_topology("Ring(4)", [100.0])
-        with pytest.raises(ValueError):
-            FlowLevelNetwork(engine, topo, escalation_threshold=0)
-        with pytest.raises(ValueError):
-            FlowLevelNetwork(engine, topo, escalation_packet_bytes=-1)
+        with pytest.raises(TypeError):
+            FlowLevelNetwork(engine, topo, escalation_threshold=1)
+
+    def test_never_escalates(self):
+        engine, net = _net()
+        for tag in (0, 1, 2):
+            net.sim_recv(1, 0, 64 * 1024, tag=tag, callback=lambda m: None)
+            net.sim_send(0, 1, 64 * 1024, tag=tag)
+        engine.run()
+        assert net.granularity_escalations == 0

@@ -46,10 +46,11 @@ class TestValidateCommand:
         assert code == 0
         doc = json.loads(path.read_text())
         assert doc["suites"] == ["invariants", "metamorphic", "conformance",
-                                 "frontend"]
+                                 "adaptive", "frontend"]
         assert doc["invariants"]["ok"] is True
         assert doc["metamorphic"]["passed"] is True
         assert doc["conformance"]["passed"] is True
+        assert doc["adaptive"]["passed"] is True
         assert doc["passed"] is True
 
 
